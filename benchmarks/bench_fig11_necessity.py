@@ -1,0 +1,26 @@
+"""Fig. 11 — the necessity ablations as a measured experiment.
+
+For each PS-PDG feature, the fast/slow program pair is compiled, both
+PS-PDGs built, and the full and feature-ablated canonical signatures
+compared.  The bench measures the end-to-end demonstration and asserts the
+paper's result: full representations differ, ablated ones collapse.
+"""
+
+import pytest
+
+from repro.workloads import PAIRS
+from repro.workloads.necessity import demonstrate
+
+
+@pytest.mark.parametrize("pair", PAIRS, ids=[p.key for p in PAIRS])
+def test_fig11_necessity(pair, benchmark, capsys):
+    full_equal, reduced_equal = benchmark.pedantic(
+        demonstrate, args=(pair,), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print(
+            f"\n[Fig 11-{pair.key}] {pair.feature}: "
+            f"full_equal={full_equal} reduced_equal={reduced_equal}"
+        )
+    assert not full_equal
+    assert reduced_equal

@@ -1,0 +1,40 @@
+"""Fig. 13 — parallelization options available to the compiler.
+
+Regenerates the paper's bar chart as a table: per NAS benchmark, the total
+number of parallelization options under OpenMP-as-written, PDG, J&K, and
+PS-PDG on the 56-core/8-chunk machine model.  The assertions pin the
+figure's qualitative shape; the printed rows are the series.
+"""
+
+import pytest
+
+from repro.planner import fig13_options, format_fig13_row
+from repro.workloads import kernel_names
+
+_ORDER = ["OpenMP", "PDG", "J&K", "PS-PDG"]
+
+
+@pytest.mark.parametrize("name", kernel_names())
+def test_fig13_rows(nas_setups, name, benchmark, capsys):
+    setup = nas_setups[name]
+    report = benchmark.pedantic(
+        fig13_options, args=(setup,), rounds=1, iterations=1
+    )
+    row = format_fig13_row(report)
+    with capsys.disabled():
+        cells = " ".join(f"{k}={row[k]:>6}" for k in _ORDER)
+        print(f"\n[Fig 13] {name:4} {cells}")
+
+    # Shape assertions (who wins):
+    assert row["PS-PDG"] >= row["J&K"] >= 0
+    assert row["PS-PDG"] >= row["PDG"]
+    assert row["PS-PDG"] >= row["OpenMP"]
+    if name == "EP":
+        # Paper: "for benchmarks with few loops which are parallelized
+        # well by the programmer (e.g., EP), the increase in options
+        # stays low."
+        assert row["PS-PDG"] == row["OpenMP"]
+    if name == "MG":
+        # Paper: workshare-improved dependence analysis is insufficient
+        # to match the PS-PDG on MG.
+        assert row["PS-PDG"] > row["J&K"]

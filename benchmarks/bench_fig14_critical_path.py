@@ -1,0 +1,40 @@
+"""Fig. 14 — critical-path reduction over OpenMP on an ideal machine.
+
+Regenerates the paper's log-scale series: per NAS benchmark, the ratio of
+the OpenMP plan's critical path to the best plan each abstraction (PDG,
+J&K, PS-PDG) can select.  Shape assertions pin who wins and where the
+crossovers fall; the printed rows are the series.
+"""
+
+import pytest
+
+from repro.planner import fig14_critical_paths, format_fig14_row
+from repro.workloads import kernel_names
+
+_ORDER = ["PDG", "J&K", "PS-PDG"]
+
+
+@pytest.mark.parametrize("name", kernel_names())
+def test_fig14_rows(nas_setups, name, benchmark, capsys):
+    setup = nas_setups[name]
+    results = benchmark.pedantic(
+        fig14_critical_paths, args=(setup,), rounds=1, iterations=1
+    )
+    row = format_fig14_row(results)
+    with capsys.disabled():
+        cells = " ".join(f"{k}={row[k]:>8.3f}" for k in _ORDER)
+        print(f"\n[Fig 14] {name:4} {cells}")
+
+    # The PS-PDG never loses programmer-expressed parallelism.
+    assert row["PS-PDG"] >= 0.999
+    # And dominates the weaker abstractions.
+    assert row["PS-PDG"] >= row["J&K"] - 1e-9
+    assert row["PS-PDG"] >= row["PDG"] - 1e-9
+    if name == "EP":
+        assert row["PDG"] == pytest.approx(1.0, rel=0.05)
+    if name in ("IS", "MG", "SP", "BT", "FT", "LU"):
+        # Outer-loop-only PDG planning falls below the source plan on
+        # benchmarks whose hot loops are inner.
+        assert row["PDG"] < 1.0
+    if name in ("IS", "MG"):
+        assert row["PS-PDG"] > row["J&K"]

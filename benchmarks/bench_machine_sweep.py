@@ -1,0 +1,54 @@
+"""Ablation: Fig. 13 option counts as a function of the machine model.
+
+The paper fixes a 56-core machine with 8 chunk sizes; this sweep verifies
+the enumeration scales the way §6.2's formulas dictate (linearly in cores
+for DOALL/HELIX, capped stages for DSWP) and that the abstraction ordering
+(PS-PDG >= J&K >= PDG) is machine-independent.
+"""
+
+import pytest
+
+from repro.planner import MachineModel, fig13_options
+from repro.workloads import kernel_names
+
+MACHINES = {
+    "8-core": MachineModel(cores=8, chunk_sizes=(1, 2, 4, 8)),
+    "56-core": MachineModel(),
+    "192-core": MachineModel(
+        cores=192, chunk_sizes=(1, 2, 4, 8, 16, 32, 64, 128)
+    ),
+}
+
+
+@pytest.mark.parametrize("machine_name", list(MACHINES))
+def test_option_scaling(nas_setups, machine_name, benchmark, capsys):
+    machine = MACHINES[machine_name]
+
+    def sweep():
+        return {
+            name: fig13_options(nas_setups[name], machine).totals
+            for name in kernel_names()
+        }
+
+    totals = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        total_pspdg = sum(t["PS-PDG"] for t in totals.values())
+        print(
+            f"\n[machine sweep] {machine_name}: "
+            f"sum(PS-PDG options)={total_pspdg}"
+        )
+    for name, row in totals.items():
+        assert row["PS-PDG"] >= row["J&K"], (machine_name, name)
+        assert row["PS-PDG"] >= row["PDG"], (machine_name, name)
+
+
+def test_doall_options_linear_in_cores(nas_setups):
+    small = fig13_options(
+        nas_setups["EP"], MachineModel(cores=7, chunk_sizes=(1, 2))
+    ).totals
+    large = fig13_options(
+        nas_setups["EP"], MachineModel(cores=14, chunk_sizes=(1, 2))
+    ).totals
+    # EP is one DOALL loop: options = cores x chunks exactly.
+    assert small["PS-PDG"] == 14
+    assert large["PS-PDG"] == 28

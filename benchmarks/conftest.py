@@ -1,0 +1,15 @@
+"""Shared session-scoped setups so each kernel is profiled once."""
+
+import pytest
+
+from repro.planner import prepare_benchmark
+from repro.workloads import build_kernel, kernel_names
+
+
+@pytest.fixture(scope="session")
+def nas_setups():
+    """Profiled pipeline state for every NAS mini-kernel."""
+    return {
+        name: prepare_benchmark(name, build_kernel(name))
+        for name in kernel_names()
+    }

@@ -1,0 +1,63 @@
+"""The paper's Section 2 narrative on IS: re-planning the parallelization.
+
+The NAS IS kernel (paper Fig. 3) encodes one specific plan: per-thread
+private buffers, one workshared ranking loop, a sequential prefix pass,
+and a critical merge.  This example shows what each abstraction can do
+with it:
+
+* the OpenMP plan is what the programmer wrote;
+* the PDG-based compiler (outermost loops, sequential analysis) loses the
+  programmer's parallelism — the indirect histogram update and the
+  critical defeat it;
+* the PS-PDG sees the precise constraints (threadprivate buffer ->
+  privatizable, critical -> orderless, merge loop -> independent) and
+  selects a strictly better plan, the paper's headline claim.
+
+Run:  python examples/is_replanning.py
+"""
+
+from repro.planner import fig14_critical_paths, prepare_benchmark
+from repro.workloads.nas import is_
+
+
+def main():
+    print("IS kernel (mini scale), original OpenMP structure:")
+    for line in is_.SOURCE.strip().splitlines():
+        print(f"    {line}")
+    print()
+
+    module = is_.build_module()
+    setup = prepare_benchmark("IS", module)
+    print(f"sequential execution: {setup.execution.steps} dynamic instructions")
+    print(f"program output:       {setup.execution.formatted_output()}")
+    print()
+
+    results = fig14_critical_paths(setup)
+    print("ideal-machine critical paths and plans:")
+    for name in ("Sequential", "OpenMP", "PDG", "J&K", "PS-PDG"):
+        entry = results[name]
+        plan = entry.get("plan")
+        techniques = (
+            {h: lp.technique for h, lp in plan.loop_plans.items()}
+            if plan is not None
+            else {}
+        )
+        speedup = entry["speedup"]
+        ratio = f"{speedup:6.3f}x" if speedup else "  --  "
+        print(f"  {name:10} CP={entry['critical_path']:>7}  {ratio}  {techniques}")
+    print()
+
+    pdg_speedup = results["PDG"]["speedup"]
+    ps_speedup = results["PS-PDG"]["speedup"]
+    print(
+        f"-> The PDG-based plan reaches {pdg_speedup:.2f}x of the OpenMP "
+        f"plan (it loses the programmer's parallelism),"
+    )
+    print(
+        f"   while the PS-PDG plan reaches {ps_speedup:.2f}x — the "
+        f"compiler found a better plan than the source encoded."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Regenerate both evaluation figures (13 and 14) for all NAS kernels.
+
+Prints the two tables the paper's evaluation reports: parallelization
+options per abstraction (Fig. 13) and critical-path reduction over the
+OpenMP plan (Fig. 14).
+
+Run:  python examples/nas_report.py
+"""
+
+from repro.planner import (
+    fig13_options,
+    fig14_critical_paths,
+    format_fig13_row,
+    format_fig14_row,
+    prepare_benchmark,
+)
+from repro.workloads import build_kernel, kernel_names
+
+
+def main():
+    setups = {}
+    print("preparing kernels (compile + profile + PDG + PS-PDG)...")
+    for name in kernel_names():
+        setups[name] = prepare_benchmark(name, build_kernel(name))
+        print(f"  {name}: {setups[name].execution.steps} dynamic instructions")
+
+    print("\nFig. 13 — total parallelization options considered")
+    header = f"{'bench':6} {'OpenMP':>8} {'PDG':>8} {'J&K':>8} {'PS-PDG':>8}"
+    print(header)
+    print("-" * len(header))
+    for name, setup in setups.items():
+        row = format_fig13_row(fig13_options(setup))
+        print(
+            f"{name:6} {row['OpenMP']:>8} {row['PDG']:>8} "
+            f"{row['J&K']:>8} {row['PS-PDG']:>8}"
+        )
+
+    print("\nFig. 14 — critical-path reduction over OpenMP (ideal machine)")
+    header = f"{'bench':6} {'PDG':>9} {'J&K':>9} {'PS-PDG':>9}"
+    print(header)
+    print("-" * len(header))
+    for name, setup in setups.items():
+        row = format_fig14_row(fig14_critical_paths(setup))
+        print(
+            f"{name:6} {row['PDG']:>9.3f} {row['J&K']:>9.3f} "
+            f"{row['PS-PDG']:>9.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""repro — a reproduction of "The Parallel Semantics Program Dependence Graph".
+
+The package implements the paper's full pipeline (Fig. 12):
+
+1. :mod:`repro.frontend` — MiniOMP (OpenMP-style pragmas) and Cilk
+   constructs, lowered to
+2. :mod:`repro.ir` — a small LLVM-flavoured IR with parallel-region
+   metadata, analyzed by
+3. :mod:`repro.analysis` — dominators, control/memory dependence, affine
+   subscript tests, reductions, privatization — feeding
+4. :mod:`repro.pdg` — the sequential PDG — and
+5. :mod:`repro.core` — **the PS-PDG** (Table 1 model, builder, Section 4
+   ablations, Section 5 sufficiency), consumed by
+6. :mod:`repro.planner` — DOALL/HELIX/DSWP classification, Fig. 13 option
+   enumeration, Fig. 14 ideal-machine critical paths — with
+7. :mod:`repro.emulator` / :mod:`repro.runtime` — a reference interpreter
+   with loop-nest profiling and a deterministic simulated-parallel
+   executor that validates plans, over
+8. :mod:`repro.workloads` — mini NAS kernels and the Fig. 11 necessity
+   gallery.
+
+Quick start::
+
+    from repro.frontend import compile_source
+    from repro.planner import prepare_benchmark, fig13_options
+
+    module = compile_source(source_text)
+    setup = prepare_benchmark("demo", module)
+    print(fig13_options(setup).totals)
+"""
+
+from repro.core import build_pspdg
+from repro.emulator import run_module, run_source
+from repro.frontend import compile_source
+from repro.pdg import build_pdg
+from repro.planner import (
+    fig13_options,
+    fig14_critical_paths,
+    prepare_benchmark,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "build_pspdg",
+    "build_pdg",
+    "compile_source",
+    "run_module",
+    "run_source",
+    "prepare_benchmark",
+    "fig13_options",
+    "fig14_critical_paths",
+    "__version__",
+]

@@ -1,0 +1,94 @@
+"""Control-flow-graph utilities shared by the other analyses."""
+
+from repro.util.orderedset import OrderedSet
+
+
+def successors_map(function):
+    """Map each block to its successor list."""
+    return {block: block.successors() for block in function.blocks}
+
+
+def predecessors_map(function):
+    """Map each block to its predecessor list (insertion order)."""
+    preds = {block: [] for block in function.blocks}
+    for block in function.blocks:
+        for succ in block.successors():
+            preds[succ].append(block)
+    return preds
+
+
+def reverse_postorder(entry, successors):
+    """Blocks in reverse postorder from ``entry`` (the dataflow-friendly order).
+
+    ``successors`` is a mapping block -> successor list.  Unreachable blocks
+    are omitted.  Iterative DFS keeps recursion depth independent of CFG size.
+    """
+    postorder = []
+    visited = set()
+    # Stack entries are (block, iterator over remaining successors).
+    stack = [(entry, iter(successors.get(entry, [])))]
+    visited.add(entry)
+    while stack:
+        block, succ_iter = stack[-1]
+        advanced = False
+        for succ in succ_iter:
+            if succ not in visited:
+                visited.add(succ)
+                stack.append((succ, iter(successors.get(succ, []))))
+                advanced = True
+                break
+        if not advanced:
+            postorder.append(block)
+            stack.pop()
+    postorder.reverse()
+    return postorder
+
+
+def reachable_blocks(entry, successors):
+    """Set of blocks reachable from ``entry``."""
+    seen = OrderedSet([entry])
+    worklist = [entry]
+    while worklist:
+        block = worklist.pop()
+        for succ in successors.get(block, []):
+            if succ not in seen:
+                seen.add(succ)
+                worklist.append(succ)
+    return seen
+
+
+def can_reach(source, target, successors, banned_edges=frozenset()):
+    """True if ``target`` is reachable from ``source``.
+
+    ``banned_edges`` is a set of ``(from_block, to_block)`` pairs to exclude;
+    used to ask "can A reach B without traversing the loop backedge", which
+    distinguishes intra-iteration from loop-carried dependences.
+    """
+    if source is target and (source, target) not in banned_edges:
+        # Self-reachability still requires an actual path; handled below by
+        # starting from successors instead of the node itself.
+        pass
+    seen = set()
+    worklist = [source]
+    first = True
+    while worklist:
+        block = worklist.pop()
+        for succ in successors.get(block, []):
+            if (block, succ) in banned_edges:
+                continue
+            if succ is target:
+                return True
+            if succ not in seen:
+                seen.add(succ)
+                worklist.append(succ)
+        first = False
+    return False
+
+
+def instruction_order_key(function):
+    """Map each instruction to its (block_index, position) for ordering."""
+    order = {}
+    for block_index, block in enumerate(function.blocks):
+        for position, inst in enumerate(block.instructions):
+            order[inst] = (block_index, position)
+    return order

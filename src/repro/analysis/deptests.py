@@ -1,0 +1,202 @@
+"""Classic data-dependence tests over affine subscript pairs.
+
+Given two accesses to the same object with affine offsets, decide whether
+they can touch the same slot (a) in the same iteration of a given loop and
+(b) across different iterations — and, when the distance is determinate, in
+which direction.  Implements the standard ZIV and strong-SIV tests plus a
+GCD feasibility check; everything else conservatively reports "may".
+
+Terminology follows Allen & Kennedy: for loop L with induction variable t,
+subscripts f(t) = a*t + c1 and g(t) = a*t + c2 (strong SIV) conflict exactly
+when the *iv-space distance* d = (c1 - c2) / a is an integer, lies within
+the loop's iteration range, and is a multiple of the step.
+"""
+
+import dataclasses
+import math
+
+from repro.ir.values import Constant
+
+
+@dataclasses.dataclass
+class LevelDependence:
+    """Outcome of testing one pair of accesses at one loop level.
+
+    Attributes:
+        intra: the accesses may conflict within a single iteration.
+        carried_forward: first access (earlier iteration) may conflict with
+            the second access in a later iteration.
+        carried_backward: conflict with roles swapped (second access's
+            iteration earlier).
+        exact: True when the result came from a determinate test rather
+            than a conservative fallback.
+    """
+
+    intra: bool
+    carried_forward: bool
+    carried_backward: bool
+    exact: bool
+
+    @staticmethod
+    def conservative():
+        return LevelDependence(True, True, True, False)
+
+    @staticmethod
+    def none():
+        return LevelDependence(False, False, False, True)
+
+
+def _constant_value(value):
+    if isinstance(value, Constant) and isinstance(value.value, int):
+        return value.value
+    return None
+
+
+def loop_iv_range(loop):
+    """(lower, upper, step) as ints when statically known, else None."""
+    meta = loop.canonical
+    if meta is None:
+        return None
+    lower = _constant_value(meta.lower)
+    upper = _constant_value(meta.upper)
+    step = _constant_value(meta.step)
+    if lower is None or upper is None or step is None or step <= 0:
+        return None
+    return (lower, upper, step)
+
+
+def constant_trip_count(loop):
+    """Statically-known trip count, or None."""
+    bounds = loop_iv_range(loop)
+    if bounds is None:
+        return None
+    lower, upper, step = bounds
+    if upper <= lower:
+        return 0
+    return (upper - lower + step - 1) // step
+
+
+def test_level(offset_a, offset_b, loop, inner_ivs):
+    """Dependence test between two affine offsets at loop ``loop``.
+
+    ``offset_a``/``offset_b`` are :class:`AffineExpr` (or None for
+    non-affine, which yields the conservative answer).  ``inner_ivs`` is the
+    set of induction allocas of loops *nested inside* ``loop`` that enclose
+    either access: these take independent values between the two accesses,
+    so any unequal-coefficient term over them forces a conservative answer,
+    and equal coefficients still leave the term free (different inner
+    iterations), not cancelled.
+
+    Induction variables of loops *outside* ``loop`` take equal values on
+    both sides and cancel when coefficients match.
+    """
+    if offset_a is None or offset_b is None:
+        return LevelDependence.conservative()
+    if loop.canonical is None:
+        return LevelDependence.conservative()
+
+    iv = loop.canonical.induction
+    coeff_a = offset_a.coefficient(iv)
+    coeff_b = offset_b.coefficient(iv)
+
+    # Terms over inner-loop ivs do not cancel: both sides range freely.
+    for var in set(offset_a.coefficients) | set(offset_b.coefficients):
+        if var is iv:
+            continue
+        if var in inner_ivs:
+            if offset_a.coefficient(var) != 0 or offset_b.coefficient(var) != 0:
+                return _inner_variant_test(offset_a, offset_b, loop, inner_ivs)
+        else:
+            # Outer-loop iv: equal on both sides; cancels only when the
+            # coefficients match.
+            if offset_a.coefficient(var) != offset_b.coefficient(var):
+                return LevelDependence.conservative()
+
+    delta = offset_a.constant - offset_b.constant
+
+    if coeff_a == 0 and coeff_b == 0:
+        # ZIV: offsets do not involve this loop's iv.
+        if delta == 0:
+            return LevelDependence(True, True, True, True)
+        return LevelDependence.none()
+
+    if coeff_a == coeff_b:
+        # Strong SIV: a*t1 + c1 == a*t2 + c2  =>  t2 - t1 == delta / a.
+        a = coeff_a
+        if delta % a != 0:
+            return LevelDependence.none()
+        distance = delta // a  # iv-space distance t2 - t1
+        bounds = loop_iv_range(loop)
+        if bounds is not None:
+            lower, upper, step = bounds
+            span = upper - lower
+            if abs(distance) >= span and span >= 0:
+                return LevelDependence.none()
+            if distance % step != 0:
+                return LevelDependence.none()
+        if distance == 0:
+            return LevelDependence(True, False, False, True)
+        if distance > 0:
+            # A's iteration is earlier: forward-carried A -> B.
+            return LevelDependence(False, True, False, True)
+        return LevelDependence(False, False, True, True)
+
+    # Weak SIV / MIV with differing coefficients: GCD feasibility check.
+    gcd = math.gcd(abs(coeff_a), abs(coeff_b))
+    if gcd and delta % gcd != 0:
+        return LevelDependence.none()
+    return LevelDependence.conservative()
+
+
+def _inner_variant_test(offset_a, offset_b, loop, inner_ivs):
+    """Fallback when inner-loop iv terms are present.
+
+    The only refinement kept: if this loop's own iv appears with equal
+    nonzero coefficients on both sides and all inner iv terms are equal
+    *bounded* terms, a conflict needs a*(t2 - t1) = (inner terms + const
+    difference); we can still rule out the cross-iteration case when the
+    reachable difference range cannot contain a nonzero multiple of the
+    coefficient.  Bounding requires static ranges for every inner iv;
+    otherwise answer conservatively.
+    """
+    iv = loop.canonical.induction
+    coeff = offset_a.coefficient(iv)
+    if coeff == 0 or coeff != offset_b.coefficient(iv):
+        return LevelDependence.conservative()
+
+    # difference = a*(t1 - t2) + (inner/const terms); collect the range of
+    # the non-level part of (offset_a - offset_b).
+    low = offset_a.constant - offset_b.constant
+    high = low
+    for var in set(offset_a.coefficients) | set(offset_b.coefficients):
+        if var is iv:
+            continue
+        term_coeff_a = offset_a.coefficient(var)
+        term_coeff_b = offset_b.coefficient(var)
+        inner_loop = inner_ivs.get(var)
+        bounds = loop_iv_range(inner_loop) if inner_loop is not None else None
+        if bounds is None:
+            return LevelDependence.conservative()
+        lower, upper, step = bounds
+        if upper <= lower:
+            continue
+        max_iv = lower + ((upper - 1 - lower) // step) * step
+        for term_coeff, sign in ((term_coeff_a, 1), (term_coeff_b, -1)):
+            contributions = sorted(
+                (sign * term_coeff * lower, sign * term_coeff * max_iv)
+            )
+            low += contributions[0]
+            high += contributions[1]
+
+    # Conflict at distance d (= t2 - t1) requires coeff*d within [low, high].
+    intra = low <= 0 <= high
+    carried_forward = high >= coeff if coeff > 0 else low <= coeff
+    carried_backward = low <= -coeff if coeff > 0 else high >= -coeff
+    # Wider distances only matter if |coeff*d| can fall inside the range;
+    # the single-step checks above are conservative upper bounds already
+    # covering |d| >= 1 whenever any multiple fits.
+    max_abs = max(abs(low), abs(high))
+    if max_abs >= abs(coeff):
+        carried_forward = carried_forward or high > 0
+        carried_backward = carried_backward or low < 0
+    return LevelDependence(intra, carried_forward, carried_backward, True)

@@ -1,0 +1,159 @@
+"""Dominator and postdominator trees.
+
+Implements the Cooper-Harvey-Kennedy iterative algorithm ("A Simple, Fast
+Dominance Algorithm").  The core runs on an abstract graph (entry node +
+successor map), so the same code computes postdominators by running on the
+reversed CFG rooted at a virtual exit node that joins every ``return``.
+"""
+
+from repro.analysis.cfg import (
+    predecessors_map,
+    reverse_postorder,
+    successors_map,
+)
+from repro.util.errors import AnalysisError
+
+
+class DominatorTree:
+    """Immediate-dominator tree over an abstract node set.
+
+    ``idom[n]`` is the immediate dominator of ``n`` (the root's idom is
+    itself).  Nodes unreachable from the root are absent.
+    """
+
+    def __init__(self, root, idom):
+        self.root = root
+        self.idom = idom
+        self._children = {}
+        for node, parent in idom.items():
+            if node is not parent:
+                self._children.setdefault(parent, []).append(node)
+        self._depth = {root: 0}
+        # Depths via BFS down the tree.
+        frontier = [root]
+        while frontier:
+            next_frontier = []
+            for node in frontier:
+                for child in self._children.get(node, []):
+                    self._depth[child] = self._depth[node] + 1
+                    next_frontier.append(child)
+            frontier = next_frontier
+
+    def contains(self, node):
+        return node in self.idom
+
+    def children(self, node):
+        return list(self._children.get(node, []))
+
+    def depth(self, node):
+        return self._depth[node]
+
+    def dominates(self, a, b):
+        """True if ``a`` dominates ``b`` (reflexive)."""
+        if a not in self.idom or b not in self.idom:
+            raise AnalysisError("node not in dominator tree")
+        node = b
+        while True:
+            if node is a:
+                return True
+            parent = self.idom[node]
+            if parent is node:
+                return node is a
+            node = parent
+
+    def strictly_dominates(self, a, b):
+        return a is not b and self.dominates(a, b)
+
+    def dominators_of(self, node):
+        """All dominators of ``node``, from the node up to the root."""
+        chain = [node]
+        while self.idom[chain[-1]] is not chain[-1]:
+            chain.append(self.idom[chain[-1]])
+        return chain
+
+
+def _compute_idom(root, successors):
+    """Cooper-Harvey-Kennedy on an abstract graph."""
+    order = reverse_postorder(root, successors)
+    index = {node: i for i, node in enumerate(order)}
+    preds = {node: [] for node in order}
+    for node in order:
+        for succ in successors.get(node, []):
+            if succ in index:
+                preds[succ].append(node)
+
+    idom = {root: root}
+
+    def intersect(a, b):
+        while a is not b:
+            while index[a] > index[b]:
+                a = idom[a]
+            while index[b] > index[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in order:
+            if node is root:
+                continue
+            candidates = [p for p in preds[node] if p in idom]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for other in candidates[1:]:
+                new_idom = intersect(new_idom, other)
+            if idom.get(node) is not new_idom:
+                idom[node] = new_idom
+                changed = True
+    return idom
+
+
+def compute_dominator_tree(function):
+    """Dominator tree of a function's CFG."""
+    succs = successors_map(function)
+    idom = _compute_idom(function.entry, succs)
+    return DominatorTree(function.entry, idom)
+
+
+class _VirtualExit:
+    """Synthetic sink joining all returns (and breaking endless loops)."""
+
+    name = "<virtual-exit>"
+
+    def __repr__(self):
+        return "<virtual-exit>"
+
+
+def compute_postdominator_tree(function):
+    """Postdominator tree, rooted at a virtual exit.
+
+    Returns ``(tree, virtual_exit)``.  Every block whose terminator is a
+    ``return`` gets an edge to the virtual exit in the reversed graph's
+    source role.  Blocks that cannot reach any return (infinite loops) are
+    additionally connected so the tree is total; our frontend never produces
+    such loops, but analyses must not crash on hand-built IR.
+    """
+    exit_node = _VirtualExit()
+    preds = predecessors_map(function)
+
+    # Reversed graph: successors(reversed) = predecessors(original); the
+    # virtual exit's reversed-successors are the returning blocks.
+    returning = [
+        block for block in function.blocks
+        if block.terminator is not None and block.terminator.opcode == "return"
+    ]
+    reversed_succs = {exit_node: list(returning)}
+    for block in function.blocks:
+        reversed_succs[block] = list(preds[block])
+
+    idom = _compute_idom(exit_node, reversed_succs)
+
+    # Connect any block unreachable in the reversed graph (no path to a
+    # return) directly under the virtual exit so queries stay total.
+    for block in function.blocks:
+        if block not in idom:
+            idom[block] = exit_node
+
+    return DominatorTree(exit_node, idom), exit_node

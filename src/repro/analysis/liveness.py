@@ -1,0 +1,66 @@
+"""Live-out analysis for memory objects relative to a loop.
+
+The planner needs to know, for each loop it wants to parallelize, which
+memory objects are *live-out*: read again after the loop exits.  Live-out
+scalars need a data-selector decision (who provides the final value); dead
+ones can be freely privatized.
+"""
+
+from repro.analysis.alias import AliasAnalysis
+from repro.analysis.cfg import reachable_blocks, successors_map
+from repro.analysis.memdep import collect_accesses
+
+
+def blocks_after_loop(function, loop):
+    """Blocks reachable from the loop's exit edges, excluding loop blocks."""
+    succs = successors_map(function)
+    after = set()
+    for _from_block, to_block in loop.exit_edges():
+        for block in reachable_blocks(to_block, succs):
+            if block not in loop.blocks:
+                after.add(block)
+    return after
+
+
+def live_out_objects(function, module, loop, alias=None, accesses=None):
+    """Objects written inside ``loop`` and read after it exits."""
+    alias = alias if alias is not None else AliasAnalysis(module)
+    accesses = (
+        accesses if accesses is not None else collect_accesses(function, alias)
+    )
+    after = blocks_after_loop(function, loop)
+
+    written_inside = set()
+    for access in accesses:
+        if access.is_write and access.instruction.parent in loop.blocks:
+            written_inside.add(id(access.obj))
+
+    live = []
+    seen = set()
+    for access in accesses:
+        if access.is_write or access.instruction.parent not in after:
+            continue
+        if id(access.obj) in written_inside and id(access.obj) not in seen:
+            seen.add(id(access.obj))
+            live.append(access.obj)
+    return live
+
+
+def objects_accessed_in_loop(function, module, loop, alias=None, accesses=None):
+    """(reads, writes) object lists for accesses inside the loop."""
+    alias = alias if alias is not None else AliasAnalysis(module)
+    accesses = (
+        accesses if accesses is not None else collect_accesses(function, alias)
+    )
+    reads, writes = [], []
+    seen_r, seen_w = set(), set()
+    for access in accesses:
+        if access.instruction.parent not in loop.blocks:
+            continue
+        bucket, seen = (
+            (writes, seen_w) if access.is_write else (reads, seen_r)
+        )
+        if id(access.obj) not in seen:
+            seen.add(id(access.obj))
+            bucket.append(access.obj)
+    return reads, writes

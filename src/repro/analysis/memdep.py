@@ -1,0 +1,231 @@
+"""Memory dependence analysis.
+
+Produces the set of memory dependences (RAW/WAR/WAW) between instruction
+pairs of one function, each classified as *loop-independent* (can occur
+within a single iteration of every common loop — or outside loops entirely)
+and/or *loop-carried* at each common enclosing loop.
+
+Precision comes from three sources, in order:
+
+1. object disambiguation (accesses to distinct objects never conflict),
+2. affine subscript tests (ZIV / strong SIV / GCD, `repro.analysis.deptests`),
+3. CFG reachability (a dependence needs an execution path from source to
+   destination that does not re-enter the loop for the loop-independent
+   component).
+
+Everything that falls outside these (indirect subscripts like ``a[key[i]]``,
+call effects) is conservatively "may depend" — which is exactly the situation
+the PS-PDG's programmer-declared semantics later relaxes.
+"""
+
+import dataclasses
+
+from repro.analysis.alias import CONSOLE, AliasAnalysis
+from repro.analysis.cfg import can_reach, successors_map
+from repro.analysis.deptests import LevelDependence, test_level
+from repro.analysis.loops import (
+    common_loops,
+    enclosing_loops,
+    find_natural_loops,
+)
+from repro.analysis.subscripts import affine_offset, induction_alloca_map
+from repro.ir.instructions import Call, Load, Print, Store
+
+
+@dataclasses.dataclass
+class MemoryAccess:
+    """One instruction's effect on one memory object."""
+
+    instruction: object
+    obj: object
+    is_write: bool
+    offset: object  # AffineExpr or None (unknown / whole object)
+
+    def __repr__(self):
+        kind = "write" if self.is_write else "read"
+        return f"<{kind} {self.obj!r} by #{self.instruction.uid}>"
+
+
+@dataclasses.dataclass
+class MemoryDependence:
+    """A dependence edge between two instructions on one object."""
+
+    source: object
+    destination: object
+    kind: str  # "RAW" | "WAR" | "WAW"
+    obj: object
+    loop_independent: bool
+    carried_loops: list  # Loop objects, innermost first
+
+    def is_loop_carried_at(self, loop):
+        return loop in self.carried_loops
+
+    def __repr__(self):
+        carried = ",".join(l.header.name for l in self.carried_loops)
+        return (
+            f"<{self.kind} #{self.source.uid}->#{self.destination.uid} "
+            f"on {self.obj!r} intra={self.loop_independent} "
+            f"carried=[{carried}]>"
+        )
+
+
+def collect_accesses(function, alias):
+    """All memory accesses of ``function``, with affine offsets when known."""
+    loops = find_natural_loops(function)
+    iv_map = induction_alloca_map(loops)
+    accesses = []
+    for inst in function.instructions():
+        if isinstance(inst, Load):
+            obj = alias.base_object(inst.pointer, function)
+            offset = affine_offset(inst.pointer, set(iv_map))
+            accesses.append(MemoryAccess(inst, obj, False, offset))
+        elif isinstance(inst, Store):
+            obj = alias.base_object(inst.pointer, function)
+            offset = affine_offset(inst.pointer, set(iv_map))
+            accesses.append(MemoryAccess(inst, obj, True, offset))
+        elif isinstance(inst, Print):
+            accesses.append(MemoryAccess(inst, CONSOLE, True, None))
+        elif isinstance(inst, Call):
+            reads, writes = alias.call_effects(inst, function)
+            for obj in sorted(reads, key=id):
+                accesses.append(MemoryAccess(inst, obj, False, None))
+            for obj in sorted(writes, key=id):
+                accesses.append(MemoryAccess(inst, obj, True, None))
+    return accesses
+
+
+def _dependence_kind(src_write, dst_write):
+    if src_write and dst_write:
+        return "WAW"
+    if src_write:
+        return "RAW"
+    if dst_write:
+        return "WAR"
+    return None
+
+
+class MemoryDependenceAnalysis:
+    """Computes all memory dependences of one function."""
+
+    def __init__(self, function, module, alias=None):
+        self.function = function
+        self.module = module
+        self.alias = alias if alias is not None else AliasAnalysis(module)
+        self.loops = find_natural_loops(function)
+        self._iv_map = induction_alloca_map(self.loops)
+        self._succs = successors_map(function)
+        self._order = {}
+        for block_index, block in enumerate(function.blocks):
+            for position, inst in enumerate(block.instructions):
+                self._order[inst] = (block_index, position)
+
+    def run(self):
+        """Return the list of :class:`MemoryDependence` edges."""
+        accesses = collect_accesses(self.function, self.alias)
+        by_object = {}
+        for access in accesses:
+            by_object.setdefault(id(access.obj), []).append(access)
+
+        dependences = []
+        for group in by_object.values():
+            for i, first in enumerate(group):
+                for second in group[i:]:
+                    if not first.is_write and not second.is_write:
+                        continue
+                    dependences.extend(self._pair_dependences(first, second))
+        return dependences
+
+    # -- per-pair logic ----------------------------------------------------
+
+    def _pair_dependences(self, acc_a, acc_b):
+        results = []
+        same_instruction = acc_a.instruction is acc_b.instruction
+        directions = [(acc_a, acc_b)]
+        if not same_instruction:
+            directions.append((acc_b, acc_a))
+        for src, dst in directions:
+            kind = _dependence_kind(src.is_write, dst.is_write)
+            if kind is None:
+                continue
+            edge = self._directed_dependence(src, dst, same_instruction)
+            if edge is not None:
+                edge_obj = MemoryDependence(
+                    src.instruction,
+                    dst.instruction,
+                    kind,
+                    src.obj,
+                    edge[0],
+                    edge[1],
+                )
+                results.append(edge_obj)
+        return results
+
+    def _directed_dependence(self, src, dst, same_instruction):
+        """(loop_independent, carried_loops) or None if infeasible."""
+        commons = common_loops(self.loops, src.instruction, dst.instruction)
+
+        carried = []
+        for loop in commons:
+            level = self._test_at_level(src, dst, loop)
+            if level.carried_forward:
+                carried.append(loop)
+
+        loop_independent = False
+        if not same_instruction:
+            loop_independent = self._loop_independent_feasible(
+                src, dst, commons
+            )
+
+        if not loop_independent and not carried:
+            return None
+        return (loop_independent, carried)
+
+    def _test_at_level(self, src, dst, loop):
+        inner_ivs = {}
+        for enclosed in loop.descendants():
+            if enclosed.canonical is not None:
+                inner_ivs[enclosed.canonical.induction] = enclosed
+        return test_level(src.offset, dst.offset, loop, inner_ivs)
+
+    def _loop_independent_feasible(self, src, dst, commons):
+        # Address equality within one iteration of every common loop.
+        if commons:
+            innermost = commons[0]
+            level = self._test_at_level(src, dst, innermost)
+            if not level.intra:
+                return False
+            banned = set(innermost.back_edges())
+        else:
+            if not self._offsets_may_be_equal(src, dst):
+                return False
+            banned = set()
+
+        return self._reaches_in_order(src.instruction, dst.instruction, banned)
+
+    def _offsets_may_be_equal(self, src, dst):
+        if src.offset is None or dst.offset is None:
+            return True
+        difference = src.offset.add(dst.offset.negate())
+        if difference.is_constant():
+            return difference.constant == 0
+        return True
+
+    def _reaches_in_order(self, src_inst, dst_inst, banned_edges):
+        src_block = src_inst.parent
+        dst_block = dst_inst.parent
+        if src_block is dst_block:
+            if self._order[src_inst][1] < self._order[dst_inst][1]:
+                return True
+            # Same block, src after dst: an intra path needs a cycle that
+            # re-enters the block without the banned edges.
+            return can_reach(
+                src_block, dst_block, self._succs, frozenset(banned_edges)
+            )
+        return can_reach(
+            src_block, dst_block, self._succs, frozenset(banned_edges)
+        )
+
+
+def compute_memory_dependences(function, module, alias=None):
+    """Convenience wrapper: run the analysis and return the edges."""
+    return MemoryDependenceAnalysis(function, module, alias).run()

@@ -1,0 +1,82 @@
+"""Sequential scalar-privatization analysis.
+
+A scalar object can be privatized per-iteration (breaking its WAR/WAW and
+spurious RAW loop-carried dependences) when every read of it inside the
+loop observes a value written *earlier in the same iteration* and the
+object is dead after the loop.  This is standard automatic-parallelizer
+machinery (NOELLE provides it), so both the PDG baseline and the PS-PDG
+planner get it; the PS-PDG's advantage must come from declared semantics,
+not from withholding textbook analyses from the baseline.
+
+The sufficient condition implemented (conservative, documented):
+
+* the object is a scalar alloca;
+* no call inside the loop touches it;
+* every load inside the loop is preceded (same block) or dominated by a
+  store to it that is also inside the loop;
+* the object is not live-out of the loop (no reads after the loop exits).
+"""
+
+from repro.analysis.alias import AliasAnalysis
+from repro.analysis.dominators import compute_dominator_tree
+from repro.analysis.liveness import live_out_objects
+from repro.analysis.memdep import collect_accesses
+from repro.ir.instructions import Load, Store
+
+
+def sequentially_privatizable_objects(
+    function, module, loop, alias=None, accesses=None
+):
+    """Objects a sequential compiler may privatize per iteration of ``loop``."""
+    alias = alias if alias is not None else AliasAnalysis(module)
+    accesses = (
+        accesses if accesses is not None else collect_accesses(function, alias)
+    )
+    dom_tree = compute_dominator_tree(function)
+    live_out = {id(obj) for obj in live_out_objects(
+        function, module, loop, alias, accesses
+    )}
+
+    per_object = {}
+    for access in accesses:
+        if access.instruction.parent not in loop.blocks:
+            continue
+        per_object.setdefault(id(access.obj), []).append(access)
+
+    position = {}
+    for block in function.blocks:
+        for index, inst in enumerate(block.instructions):
+            position[inst] = index
+
+    privatizable = []
+    for group in per_object.values():
+        obj = group[0].obj
+        if not obj.is_scalar() or id(obj) in live_out:
+            continue
+        loads = [
+            a.instruction for a in group if isinstance(a.instruction, Load)
+        ]
+        stores = [
+            a.instruction for a in group if isinstance(a.instruction, Store)
+        ]
+        if len(loads) + len(stores) != len(group):
+            continue  # a call touches the object
+        if not stores:
+            continue  # read-only: nothing to privatize (no deps either)
+        if all(_defined_before(load, stores, dom_tree, position)
+               for load in loads):
+            privatizable.append(obj)
+    return privatizable
+
+
+def _defined_before(load, stores, dom_tree, position):
+    for store in stores:
+        if store.parent is load.parent:
+            if position[store] < position[load]:
+                return True
+        elif dom_tree.contains(store.parent) and dom_tree.contains(
+            load.parent
+        ):
+            if dom_tree.strictly_dominates(store.parent, load.parent):
+                return True
+    return False

@@ -1,0 +1,147 @@
+"""Affine subscript analysis.
+
+For dependence testing we want a memory access's *slot offset* within its
+base object expressed as an affine function of the enclosing canonical-loop
+induction variables::
+
+    offset = constant + sum_i coefficient_i * iv_i
+
+``iv_i`` stands for the runtime *value* of loop ``i``'s induction variable
+(not the normalized iteration number); the dependence tests account for the
+loop's lower bound and step themselves.
+
+The analysis walks the GEP chain, multiplying each index by the element
+stride, and symbolically evaluates index expressions over: integer
+constants, loads of induction-variable allocas (inside their loop body,
+before the latch increments them), additions, subtractions, and
+multiplications by constants.  Anything else — an indirect index like
+``key[i]``, a value loaded from a non-induction variable — makes the
+subscript *non-affine*, and the dependence tests fall back to "may
+conflict", exactly like a production compiler would.
+"""
+
+import dataclasses
+
+from repro.ir.instructions import (
+    Alloca,
+    BinaryOp,
+    GetElementPtr,
+    Load,
+    UnaryOp,
+)
+from repro.ir.values import Constant
+
+
+@dataclasses.dataclass
+class AffineExpr:
+    """``constant + sum(coefficients[iv_alloca] * iv)`` over int ivs."""
+
+    constant: int
+    coefficients: dict  # Alloca -> int coefficient (zero entries removed)
+
+    @staticmethod
+    def const(value):
+        return AffineExpr(int(value), {})
+
+    @staticmethod
+    def variable(alloca):
+        return AffineExpr(0, {alloca: 1})
+
+    def add(self, other):
+        coeffs = dict(self.coefficients)
+        for var, coeff in other.coefficients.items():
+            coeffs[var] = coeffs.get(var, 0) + coeff
+            if coeffs[var] == 0:
+                del coeffs[var]
+        return AffineExpr(self.constant + other.constant, coeffs)
+
+    def negate(self):
+        return AffineExpr(
+            -self.constant,
+            {var: -coeff for var, coeff in self.coefficients.items()},
+        )
+
+    def scale(self, factor):
+        factor = int(factor)
+        if factor == 0:
+            return AffineExpr.const(0)
+        return AffineExpr(
+            self.constant * factor,
+            {var: coeff * factor for var, coeff in self.coefficients.items()},
+        )
+
+    def coefficient(self, alloca):
+        return self.coefficients.get(alloca, 0)
+
+    def is_constant(self):
+        return not self.coefficients
+
+    def __repr__(self):
+        terms = [str(self.constant)]
+        for var, coeff in self.coefficients.items():
+            name = var.var_name or f"%{var.uid}"
+            terms.append(f"{coeff}*{name}")
+        return " + ".join(terms)
+
+
+def _affine_of_value(value, induction_allocas):
+    """Affine form of an integer SSA value, or None if non-affine."""
+    if isinstance(value, Constant):
+        if isinstance(value.value, bool) or not isinstance(value.value, int):
+            return None
+        return AffineExpr.const(value.value)
+    if isinstance(value, Load):
+        pointer = value.pointer
+        if isinstance(pointer, Alloca) and pointer in induction_allocas:
+            return AffineExpr.variable(pointer)
+        return None
+    if isinstance(value, UnaryOp) and value.op == "neg":
+        inner = _affine_of_value(value.operand, induction_allocas)
+        return inner.negate() if inner is not None else None
+    if isinstance(value, BinaryOp):
+        lhs = _affine_of_value(value.lhs, induction_allocas)
+        rhs = _affine_of_value(value.rhs, induction_allocas)
+        if value.op == "add" and lhs is not None and rhs is not None:
+            return lhs.add(rhs)
+        if value.op == "sub" and lhs is not None and rhs is not None:
+            return lhs.add(rhs.negate())
+        if value.op == "mul":
+            if lhs is not None and rhs is not None:
+                if rhs.is_constant():
+                    return lhs.scale(rhs.constant)
+                if lhs.is_constant():
+                    return rhs.scale(lhs.constant)
+            return None
+        if value.op == "shl" and lhs is not None and rhs is not None:
+            if rhs.is_constant() and rhs.constant >= 0:
+                return lhs.scale(1 << rhs.constant)
+            return None
+    return None
+
+
+def affine_offset(pointer, induction_allocas):
+    """Affine slot offset of ``pointer`` within its base object.
+
+    ``induction_allocas`` is the set of allocas serving as canonical-loop
+    induction variables for loops enclosing the access.  Returns ``None``
+    when any GEP index along the chain is non-affine.
+    """
+    offset = AffineExpr.const(0)
+    value = pointer
+    while isinstance(value, GetElementPtr):
+        stride = value.pointer.type.pointee.element.slots()
+        index = _affine_of_value(value.index, induction_allocas)
+        if index is None:
+            return None
+        offset = offset.add(index.scale(stride))
+        value = value.pointer
+    return offset
+
+
+def induction_alloca_map(loops):
+    """Map induction alloca -> loop, for loops with canonical metadata."""
+    mapping = {}
+    for loop in loops:
+        if loop.canonical is not None:
+            mapping[loop.canonical.induction] = loop
+    return mapping

@@ -1,0 +1,714 @@
+"""PS-PDG construction: annotated IR + sequential PDG -> PS-PDG.
+
+The builder follows the paper's pipeline (Fig. 12): it starts from the
+sequential PDG and *rewrites* it according to the parallel semantics the
+frontend recorded:
+
+* every natural loop and every directive region becomes a hierarchical
+  node; labeled ones are contexts (§3.1, §3.3);
+* worksharing directives remove the loop-carried dependences their
+  iteration-independence declaration invalidates (§5.1), except where an
+  ordering construct protects them;
+* critical/atomic regions turn their carried self-dependences into
+  undirected edges (any order, no overlap) and gain the atomic trait
+  (§3.2, §3.4, §5.3); ``ordered`` regions keep directed order;
+* single/master regions gain the singular trait (§3.2);
+* data clauses produce parallel semantic variables with use/def accesses
+  (§3.6, §5.2) and data selectors on live-in/live-out edges (§3.5);
+* tasks/spawns drop the dependences their asynchrony disclaims and gain
+  sync edges from barriers/taskwaits/syncs (§5.1, Appendix A).
+
+Every removed dependence is logged as a :class:`Relaxation` naming the
+feature that justified it; ablation projections and the J&K baseline replay
+this log selectively.
+"""
+
+from repro.analysis.alias import AliasAnalysis
+from repro.analysis.liveness import blocks_after_loop
+from repro.core.model import (
+    DataSelector,
+    DirectedEdge,
+    HierarchicalNode,
+    InstructionNode,
+    PSPDG,
+    Relaxation,
+    SELECTOR_ALL_CONSUMERS,
+    SELECTOR_ANY_PRODUCER,
+    SELECTOR_LAST_PRODUCER,
+    Trait,
+    TRAIT_ATOMIC,
+    TRAIT_SINGULAR,
+    TRAIT_UNORDERED,
+    UndirectedEdge,
+    VAR_PRIVATIZABLE,
+    VAR_REDUCIBLE,
+    Variable,
+)
+from repro.frontend.directives import LOOP_INDEPENDENCE_KINDS
+from repro.ir.instructions import Load, Store
+from repro.pdg.builder import build_pdg
+from repro.pdg.graph import EDGE_MEMORY
+
+# Directive kinds whose regions multiply execution (threads/tasks), i.e.
+# legitimate carriers for parallel semantics like critical's orderlessness.
+_PARALLEL_CARRIER_KINDS = frozenset(
+    {"parallel", "parallel_for", "for", "taskloop", "simd", "cilk_for"}
+    | {"task", "sections", "cilk_scope"}
+)
+
+_ORDERING_REGION_KINDS = frozenset({"critical", "atomic", "ordered"})
+
+
+def loop_context_label(header_name):
+    """The context label assigned to a natural loop's hierarchical node."""
+    return f"loop:{header_name}"
+
+
+class PSPDGBuilder:
+    """Builds the PS-PDG of one annotated function."""
+
+    def __init__(self, function, module, alias=None):
+        self.function = function
+        self.module = module
+        self.alias = alias if alias is not None else AliasAnalysis(module)
+        self.pdg = build_pdg(function, module, self.alias)
+        self.graph = PSPDG(function)
+        self.graph.loops = self.pdg.loops
+        self._block_of = {}
+        for block in function.blocks:
+            for inst in block.instructions:
+                self._block_of[inst] = block.name
+        self._groups = []  # (node, block_name_set), innermost resolution
+        self._annotation_nodes = {}  # annotation uid -> HierarchicalNode
+
+    # -- entry point -----------------------------------------------------------
+
+    def build(self):
+        self._build_hierarchy()
+        self._copy_pdg_edges()
+        self._apply_data_clauses()
+        self._apply_worksharing()
+        self._apply_ordering_regions()
+        self._apply_traits()
+        self._apply_tasks_and_sync()
+        self._attach_selectors()
+        self._prune_empty_edges()
+        return self.graph
+
+    # -- hierarchy (§3.1, §3.3) -------------------------------------------------
+
+    def _build_hierarchy(self):
+        groups = []
+        for loop in self.pdg.loops:
+            label = loop_context_label(loop.header.name)
+            node = HierarchicalNode(
+                "loop", context_label=label, source_uid=loop.header.name
+            )
+            block_names = {b.name for b in loop.blocks}
+            groups.append((node, block_names, len(block_names), loop))
+            self.graph.context_of_loop[loop.header.name] = label
+
+        for annotation in self.function.annotations:
+            node = HierarchicalNode(
+                annotation.directive.kind,
+                context_label=annotation.uid,
+                source_uid=annotation.uid,
+            )
+            block_names = set(annotation.block_names)
+            groups.append((node, block_names, len(block_names), annotation))
+            self._annotation_nodes[annotation.uid] = node
+
+        # Parent = smallest strictly containing group.  Ties (identical
+        # block sets) nest the later-created annotation inside the earlier,
+        # matching pragma stacking order.
+        for index, (node, blocks, size, _src) in enumerate(groups):
+            best = None
+            for j, (other, other_blocks, other_size, _o) in enumerate(groups):
+                if j == index:
+                    continue
+                if blocks < other_blocks or (
+                    blocks == other_blocks and j < index
+                ):
+                    if best is None or other_size < best[1]:
+                        best = (other, other_size)
+            if best is not None:
+                best[0].add_child(node)
+            else:
+                self.graph.roots.append(node)
+            self.graph.register_context(node)
+            self._groups.append((node, blocks))
+
+        # Leaf instruction nodes attach to the innermost containing group.
+        for inst in self.pdg.nodes:
+            leaf = InstructionNode(inst)
+            self.graph.instruction_nodes[inst] = leaf
+            owner = self._innermost_group(self._block_of[inst])
+            if owner is None:
+                self.graph.roots.append(leaf)
+            else:
+                owner.add_child(leaf)
+
+    def _innermost_group(self, block_name):
+        best = None
+        best_size = None
+        for node, blocks in self._groups:
+            if block_name in blocks:
+                if best is None or len(blocks) < best_size:
+                    best = node
+                    best_size = len(blocks)
+        return best
+
+    # -- PDG edge transfer ----------------------------------------------------
+
+    def _copy_pdg_edges(self):
+        for edge in self.pdg.edges:
+            carried = tuple(
+                loop_context_label(loop.header.name)
+                for loop in edge.carried_loops
+            )
+            self.graph.add_directed_edge(
+                DirectedEdge(
+                    producer=self.graph.node_of(edge.source),
+                    consumer=self.graph.node_of(edge.destination),
+                    kind=edge.kind,
+                    mem_kind=edge.mem_kind,
+                    obj=edge.obj,
+                    loop_independent=edge.loop_independent,
+                    carried_contexts=carried,
+                )
+            )
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _annotations_of_kind(self, kinds):
+        return [
+            a
+            for a in self.function.annotations
+            if a.directive.kind in kinds
+        ]
+
+    def _loop_for_annotation(self, annotation):
+        for loop in self.pdg.loops:
+            if loop.header.name == annotation.loop_header:
+                return loop
+        return None
+
+    def _object_of_storage(self, storage):
+        from repro.ir.instructions import Alloca
+        from repro.ir.values import Argument, GlobalVariable
+
+        if isinstance(storage, Alloca):
+            return self.alias.object_for_alloca(storage)
+        if isinstance(storage, GlobalVariable):
+            return self.alias.object_for_global(storage)
+        if isinstance(storage, Argument):
+            return self.alias.object_for_argument(storage)
+        raise TypeError(f"unexpected clause storage {storage!r}")
+
+    def _accesses_of_object(self, obj, block_names=None):
+        uses, defs = [], []
+        for inst in self.pdg.nodes:
+            if block_names is not None:
+                if self._block_of[inst] not in block_names:
+                    continue
+            if isinstance(inst, Load):
+                if self.alias.base_object(inst.pointer, self.function) is obj:
+                    uses.append(self.graph.node_of(inst))
+            elif isinstance(inst, Store):
+                if self.alias.base_object(inst.pointer, self.function) is obj:
+                    defs.append(self.graph.node_of(inst))
+        return uses, defs
+
+    def _remove_carried(self, edge, context_label, feature, extra_contexts=()):
+        """Strip a carried level from an edge, logging the relaxation."""
+        removed = tuple(
+            c
+            for c in edge.carried_contexts
+            if c == context_label or c in extra_contexts
+        )
+        if not removed:
+            return False
+        edge.carried_contexts = tuple(
+            c for c in edge.carried_contexts if c not in removed
+        )
+        self.graph.log_relaxation(
+            Relaxation(
+                source=edge.producer.leaf_instructions()[0],
+                destination=edge.consumer.leaf_instructions()[0],
+                kind=edge.kind,
+                mem_kind=edge.mem_kind,
+                obj=edge.obj,
+                context=context_label,
+                feature=feature,
+                carried_removed=removed,
+            )
+        )
+        return True
+
+    def _remove_intra(self, edge, context_label, feature):
+        if not edge.loop_independent:
+            return False
+        edge.loop_independent = False
+        self.graph.log_relaxation(
+            Relaxation(
+                source=edge.producer.leaf_instructions()[0],
+                destination=edge.consumer.leaf_instructions()[0],
+                kind=edge.kind,
+                mem_kind=edge.mem_kind,
+                obj=edge.obj,
+                context=context_label,
+                feature=feature,
+                loop_independent_removed=True,
+            )
+        )
+        return True
+
+    # -- data clauses (§5.2) ------------------------------------------------------
+
+    def _apply_data_clauses(self):
+        # threadprivate globals: privatizable in the whole-program context.
+        threadprivate = self.module.metadata.get("threadprivate", set())
+        for name in sorted(threadprivate):
+            gvar = self.module.globals[name]
+            obj = self.alias.object_for_global(gvar)
+            uses, defs = self._accesses_of_object(obj)
+            self.graph.add_variable(
+                Variable(
+                    name=name,
+                    storage=gvar,
+                    semantics=VAR_PRIVATIZABLE,
+                    context="",
+                    obj=obj,
+                ),
+                uses,
+                defs,
+            )
+
+        for annotation in self.function.annotations:
+            clauses = annotation.directive.clauses
+            context = annotation.uid
+            blocks = set(annotation.block_names)
+            for op, name in clauses.reductions:
+                self._declare_variable(
+                    annotation, name, VAR_REDUCIBLE, context, blocks, op
+                )
+            for name in clauses.private:
+                self._declare_variable(
+                    annotation, name, VAR_PRIVATIZABLE, context, blocks
+                )
+            for name in clauses.firstprivate:
+                self._declare_variable(
+                    annotation, name, VAR_PRIVATIZABLE, context, blocks
+                )
+            for name in clauses.lastprivate:
+                self._declare_variable(
+                    annotation, name, VAR_PRIVATIZABLE, context, blocks
+                )
+            for name in clauses.anyvalue:
+                # anyvalue(x) is the benign-race/any-write-wins idiom:
+                # lowered as a privatizable copy whose winning value is
+                # chosen by the Any-Producer selector.
+                self._declare_variable(
+                    annotation, name, VAR_PRIVATIZABLE, context, blocks
+                )
+            # Worksharing induction variables are privatized by the model.
+            if (
+                annotation.directive.kind in LOOP_INDEPENDENCE_KINDS
+                and annotation.loop_header is not None
+            ):
+                loop = self._loop_for_annotation(annotation)
+                if loop is not None and loop.canonical is not None:
+                    induction = loop.canonical.induction
+                    obj = self.alias.object_for_alloca(induction)
+                    uses, defs = self._accesses_of_object(obj)
+                    self.graph.add_variable(
+                        Variable(
+                            name=induction.var_name or "<iv>",
+                            storage=induction,
+                            semantics=VAR_PRIVATIZABLE,
+                            context=context,
+                            obj=obj,
+                        ),
+                        uses,
+                        defs,
+                    )
+
+    def _declare_variable(
+        self, annotation, name, semantics, context, blocks, op=None
+    ):
+        storage = annotation.binding(name)
+        obj = self._object_of_storage(storage)
+        uses, defs = self._accesses_of_object(obj)
+        self.graph.add_variable(
+            Variable(
+                name=name,
+                storage=storage,
+                semantics=semantics,
+                context=context,
+                reducer_op=op,
+                obj=obj,
+            ),
+            uses,
+            defs,
+        )
+
+    def _variable_objects_for(self, context_labels, semantics=None):
+        objects = {}
+        for variable in self.graph.variables:
+            if variable.context in context_labels or variable.context == "":
+                if semantics is None or variable.semantics == semantics:
+                    objects[id(variable.obj)] = variable
+        return objects
+
+    # -- worksharing independence (§5.1) -----------------------------------------
+
+    def _apply_worksharing(self):
+        for annotation in self._annotations_of_kind(LOOP_INDEPENDENCE_KINDS):
+            loop = self._loop_for_annotation(annotation)
+            if loop is None:
+                continue
+            loop_label = loop_context_label(loop.header.name)
+            region_labels = {annotation.uid, loop_label}
+            if annotation.parent_uid is not None:
+                region_labels.add(annotation.parent_uid)
+            protected_vars = self._variable_objects_for(region_labels)
+
+            for edge in self.graph.directed_edges:
+                if loop_label not in edge.carried_contexts:
+                    continue
+                producer = edge.producer
+                consumer = edge.consumer
+                src_region = self._ordering_region(producer)
+                dst_region = self._ordering_region(consumer)
+                if src_region is not None and src_region is dst_region:
+                    if src_region.kind == "ordered":
+                        continue  # explicit iteration order preserved
+                    # critical/atomic: handled by _apply_ordering_regions.
+                    continue
+                if (
+                    src_region is not None
+                    and dst_region is not None
+                    and self._same_lock(src_region, dst_region)
+                ):
+                    continue  # cross-region, same lock: also orderless
+                variable = (
+                    protected_vars.get(id(edge.obj))
+                    if edge.obj is not None
+                    else None
+                )
+                if variable is not None:
+                    self._remove_carried(
+                        edge, loop_label, "variable",
+                        extra_contexts={annotation.uid},
+                    )
+                else:
+                    self._remove_carried(
+                        edge, loop_label, "independence",
+                        extra_contexts={annotation.uid},
+                    )
+
+    def _ordering_region(self, node):
+        probe = node
+        while probe is not None:
+            if (
+                isinstance(probe, HierarchicalNode)
+                and probe.kind in _ORDERING_REGION_KINDS
+            ):
+                return probe
+            probe = probe.parent
+        return None
+
+    def _same_lock(self, region_a, region_b):
+        if region_a.kind != "critical" or region_b.kind != "critical":
+            return False
+        name_a = self._critical_name(region_a)
+        name_b = self._critical_name(region_b)
+        return name_a == name_b
+
+    def _critical_name(self, region):
+        annotation = self._annotation_by_uid(region.source_uid)
+        if annotation is None:
+            return None
+        return annotation.directive.clauses.critical_name
+
+    def _annotation_by_uid(self, uid):
+        for annotation in self.function.annotations:
+            if annotation.uid == uid:
+                return annotation
+        return None
+
+    # -- ordering constructs (§5.3) ----------------------------------------------
+
+    def _apply_ordering_regions(self):
+        for annotation in self._annotations_of_kind({"critical", "atomic"}):
+            region = self._annotation_nodes[annotation.uid]
+            carrier = self._innermost_carrier(region)
+            carrier_label = (
+                carrier.context_label if carrier is not None else ""
+            )
+            region.add_trait(Trait(TRAIT_ATOMIC, carrier_label))
+            region.add_trait(Trait(TRAIT_UNORDERED, carrier_label))
+
+            member_instructions = set(region.leaf_instructions())
+            emitted = False
+            for edge in self.graph.directed_edges:
+                sources = edge.producer.leaf_instructions()
+                destinations = edge.consumer.leaf_instructions()
+                if not (
+                    set(sources) <= member_instructions
+                    and set(destinations) <= member_instructions
+                ):
+                    continue
+                if not edge.carried_contexts:
+                    continue
+                removed = self._remove_carried_all(edge, "undirected")
+                if removed:
+                    emitted = True
+            if emitted or member_instructions:
+                self.graph.add_undirected_edge(
+                    UndirectedEdge(region, region, carrier_label)
+                )
+            # Same-name criticals elsewhere share the lock: undirected
+            # edges between the regions.
+            for other in self._annotations_of_kind({"critical"}):
+                if other.uid <= annotation.uid:
+                    continue
+                if (
+                    annotation.directive.kind == "critical"
+                    and other.directive.clauses.critical_name
+                    == annotation.directive.clauses.critical_name
+                ):
+                    self.graph.add_undirected_edge(
+                        UndirectedEdge(
+                            region,
+                            self._annotation_nodes[other.uid],
+                            carrier_label,
+                        )
+                    )
+
+    def _remove_carried_all(self, edge, feature):
+        removed = edge.carried_contexts
+        if not removed:
+            return False
+        edge.carried_contexts = ()
+        self.graph.log_relaxation(
+            Relaxation(
+                source=edge.producer.leaf_instructions()[0],
+                destination=edge.consumer.leaf_instructions()[0],
+                kind=edge.kind,
+                mem_kind=edge.mem_kind,
+                obj=edge.obj,
+                context=removed[0],
+                feature=feature,
+                carried_removed=removed,
+            )
+        )
+        return True
+
+    def _innermost_carrier(self, node):
+        probe = node.parent
+        while probe is not None:
+            if (
+                isinstance(probe, HierarchicalNode)
+                and probe.kind in _PARALLEL_CARRIER_KINDS | {"loop"}
+            ):
+                # Prefer the annotated carrier over the bare loop node when
+                # both wrap the same code: keep climbing past 'loop' nodes
+                # only if their parent is a worksharing annotation for the
+                # same loop; simplest faithful rule: accept the first
+                # carrier-kind or loop node.
+                return probe
+            probe = probe.parent
+        return None
+
+    # -- traits (§3.2) ----------------------------------------------------------
+
+    def _apply_traits(self):
+        for annotation in self._annotations_of_kind({"single", "master"}):
+            region = self._annotation_nodes[annotation.uid]
+            carrier = self._innermost_carrier(region)
+            label = carrier.context_label if carrier is not None else ""
+            region.add_trait(Trait(TRAIT_SINGULAR, label))
+
+    # -- tasks, spawns, and synchronization ---------------------------------------
+
+    def _apply_tasks_and_sync(self):
+        task_like = self._annotations_of_kind({"task", "cilk_spawn", "section"})
+        task_nodes = [self._annotation_nodes[a.uid] for a in task_like]
+        task_members = [
+            set(node.leaf_instructions()) for node in task_nodes
+        ]
+
+        # Independence between sibling tasks: remove memory edges between
+        # distinct task regions unless depend clauses connect them.
+        for i, annotation_a in enumerate(task_like):
+            for j, annotation_b in enumerate(task_like):
+                if i >= j:
+                    continue
+                if annotation_a.parent_uid != annotation_b.parent_uid:
+                    continue
+                if self._tasks_depend(annotation_a, annotation_b):
+                    continue
+                for edge in self.graph.directed_edges:
+                    if edge.kind != EDGE_MEMORY:
+                        continue
+                    sources = set(edge.producer.leaf_instructions())
+                    dests = set(edge.consumer.leaf_instructions())
+                    crossing = (
+                        sources <= task_members[i] and dests <= task_members[j]
+                    ) or (
+                        sources <= task_members[j] and dests <= task_members[i]
+                    )
+                    if not crossing:
+                        continue
+                    context = annotation_a.parent_uid or ""
+                    self._remove_intra(edge, context, "task")
+                    self._remove_carried_all(edge, "task")
+
+        # Spawned work is independent of its continuation until the sync.
+        for annotation in self._annotations_of_kind({"cilk_spawn"}):
+            members = set(
+                self._annotation_nodes[annotation.uid].leaf_instructions()
+            )
+            sync_uids = self._following_syncs(annotation)
+            for edge in self.graph.directed_edges:
+                if edge.kind != EDGE_MEMORY:
+                    continue
+                sources = set(edge.producer.leaf_instructions())
+                dests = set(edge.consumer.leaf_instructions())
+                if not (sources <= members) or dests & members:
+                    continue
+                dest_inst = next(iter(dests))
+                if self._before_any_sync(dest_inst, sync_uids):
+                    context = annotation.parent_uid or ""
+                    self._remove_intra(edge, context, "task")
+
+        # Barriers / taskwaits / syncs: ordering edges at region level.
+        for annotation in self._annotations_of_kind(
+            {"barrier", "taskwait", "cilk_sync"}
+        ):
+            node = self._annotation_nodes[annotation.uid]
+            for task_node in task_nodes:
+                self.graph.add_directed_edge(
+                    DirectedEdge(
+                        producer=task_node,
+                        consumer=node,
+                        kind="sync",
+                        loop_independent=True,
+                    )
+                )
+
+    def _tasks_depend(self, annotation_a, annotation_b):
+        def names(annotation, modes):
+            return {
+                name
+                for mode, name in annotation.directive.clauses.depends
+                if mode in modes
+            }
+
+        a_out = names(annotation_a, {"out", "inout"})
+        b_out = names(annotation_b, {"out", "inout"})
+        a_in = names(annotation_a, {"in", "inout"})
+        b_in = names(annotation_b, {"in", "inout"})
+        return bool(a_out & (b_in | b_out) or b_out & (a_in | a_out))
+
+    def _following_syncs(self, annotation):
+        return [
+            a.uid
+            for a in self._annotations_of_kind({"cilk_sync", "barrier"})
+            if a.parent_uid == annotation.parent_uid
+        ]
+
+    def _before_any_sync(self, instruction, sync_uids):
+        # Conservative: treat everything after the spawn and before the end
+        # of the enclosing region as continuation; sync nodes re-anchor
+        # ordering through the explicit sync edges added above.
+        return True
+
+    # -- data selectors (§3.5) ----------------------------------------------------
+
+    def _attach_selectors(self):
+        for annotation in self.function.annotations:
+            clauses = annotation.directive.clauses
+            blocks = set(annotation.block_names)
+            loop = self._loop_for_annotation(annotation)
+            for name in clauses.lastprivate:
+                self._selector_on_liveout(
+                    annotation, name, blocks, SELECTOR_LAST_PRODUCER
+                )
+            for name in clauses.anyvalue:
+                self._selector_on_liveout(
+                    annotation, name, blocks, SELECTOR_ANY_PRODUCER
+                )
+                self._relax_liveout_order(annotation, name, blocks, loop)
+            for name in clauses.firstprivate:
+                self._selector_on_livein(
+                    annotation, name, blocks, SELECTOR_ALL_CONSUMERS
+                )
+
+    def _selector_on_liveout(self, annotation, name, blocks, kind):
+        storage = annotation.binding(name)
+        obj = self._object_of_storage(storage)
+        for edge in self.graph.directed_edges:
+            if edge.kind != EDGE_MEMORY or edge.mem_kind != "RAW":
+                continue
+            if edge.obj is not obj:
+                continue
+            src_inside = self._node_inside(edge.producer, blocks)
+            dst_inside = self._node_inside(edge.consumer, blocks)
+            if src_inside and not dst_inside:
+                edge.selector = DataSelector(kind, annotation.uid)
+
+    def _selector_on_livein(self, annotation, name, blocks, kind):
+        storage = annotation.binding(name)
+        obj = self._object_of_storage(storage)
+        for edge in self.graph.directed_edges:
+            if edge.kind != EDGE_MEMORY or edge.mem_kind != "RAW":
+                continue
+            if edge.obj is not obj:
+                continue
+            src_inside = self._node_inside(edge.producer, blocks)
+            dst_inside = self._node_inside(edge.consumer, blocks)
+            if dst_inside and not src_inside:
+                edge.selector = DataSelector(kind, annotation.uid)
+
+    def _relax_liveout_order(self, annotation, name, blocks, loop):
+        """anyvalue(x): any iteration's write may win; WAW/WAR on x inside
+        the region lose their carried component (feature: selector)."""
+        storage = annotation.binding(name)
+        obj = self._object_of_storage(storage)
+        loop_label = (
+            loop_context_label(loop.header.name) if loop is not None else None
+        )
+        for edge in self.graph.directed_edges:
+            if edge.kind != EDGE_MEMORY or edge.obj is not obj:
+                continue
+            src_inside = self._node_inside(edge.producer, blocks)
+            dst_inside = self._node_inside(edge.consumer, blocks)
+            if src_inside and dst_inside and loop_label is not None:
+                # (Usually already removed via the privatizable variable;
+                # this catches anyvalue on loops without other clauses.)
+                self._remove_carried(
+                    edge, loop_label, "selector",
+                    extra_contexts={annotation.uid},
+                )
+
+    def _node_inside(self, node, block_names):
+        instructions = node.leaf_instructions()
+        return all(
+            self._block_of[inst] in block_names for inst in instructions
+        )
+
+    # -- cleanup ----------------------------------------------------------------
+
+    def _prune_empty_edges(self):
+        self.graph.directed_edges = [
+            e
+            for e in self.graph.directed_edges
+            if e.loop_independent or e.carried_contexts or e.kind == "sync"
+        ]
+
+
+def build_pspdg(function, module, alias=None):
+    """Convenience wrapper returning the PS-PDG of ``function``."""
+    return PSPDGBuilder(function, module, alias).build()

@@ -1,0 +1,194 @@
+"""Abstract syntax tree for the MiniOMP language.
+
+Nodes are plain dataclasses.  Every statement node carries an optional
+``pragmas`` list (parsed directives waiting to be bound to the lowered
+region) and a source ``line`` for diagnostics.
+"""
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class TypeSpec:
+    """Source-level type: scalar base plus optional array dimensions."""
+
+    base: str  # "int" | "float" | "bool" | "void"
+    dims: list = dataclasses.field(default_factory=list)  # outermost first
+
+    def is_array(self):
+        return bool(self.dims)
+
+    def __repr__(self):
+        suffix = "".join(f"[{d}]" for d in self.dims)
+        return f"{self.base}{suffix}"
+
+
+# --- expressions -----------------------------------------------------------
+
+
+@dataclasses.dataclass
+class Expr:
+    line: int = dataclasses.field(default=None, kw_only=True)
+
+
+@dataclasses.dataclass
+class IntLit(Expr):
+    value: int
+
+
+@dataclasses.dataclass
+class FloatLit(Expr):
+    value: float
+
+
+@dataclasses.dataclass
+class BoolLit(Expr):
+    value: bool
+
+
+@dataclasses.dataclass
+class StringLit(Expr):
+    value: str
+
+
+@dataclasses.dataclass
+class VarRef(Expr):
+    name: str
+
+
+@dataclasses.dataclass
+class Index(Expr):
+    base: Expr
+    index: Expr
+
+
+@dataclasses.dataclass
+class BinExpr(Expr):
+    op: str  # source operator: + - * / % == != < <= > >= && || & | ^
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclasses.dataclass
+class UnExpr(Expr):
+    op: str  # "-" | "!"
+    operand: Expr
+
+
+@dataclasses.dataclass
+class CallExpr(Expr):
+    name: str
+    args: list
+
+
+# --- statements -----------------------------------------------------------
+
+
+@dataclasses.dataclass
+class Stmt:
+    line: int = dataclasses.field(default=None, kw_only=True)
+    pragmas: list = dataclasses.field(default_factory=list, kw_only=True)
+
+
+@dataclasses.dataclass
+class Block(Stmt):
+    statements: list = dataclasses.field(default_factory=list)
+
+
+@dataclasses.dataclass
+class VarDecl(Stmt):
+    name: str = ""
+    type: TypeSpec = None
+    init: Expr = None
+    reducer_op: str = None  # Cilk hyperobject: reduction operator name
+
+
+@dataclasses.dataclass
+class Assign(Stmt):
+    target: Expr = None  # VarRef or Index chain
+    value: Expr = None
+
+
+@dataclasses.dataclass
+class If(Stmt):
+    condition: Expr = None
+    then_body: Block = None
+    else_body: Block = None
+
+
+@dataclasses.dataclass
+class While(Stmt):
+    condition: Expr = None
+    body: Block = None
+
+
+@dataclasses.dataclass
+class For(Stmt):
+    var: str = ""
+    lower: Expr = None
+    upper: Expr = None
+    step: Expr = None  # None -> 1
+    body: Block = None
+
+
+@dataclasses.dataclass
+class PrintStmt(Stmt):
+    args: list = dataclasses.field(default_factory=list)
+
+
+@dataclasses.dataclass
+class ReturnStmt(Stmt):
+    value: Expr = None
+
+
+@dataclasses.dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None  # call expression used as a statement
+
+
+@dataclasses.dataclass
+class StandaloneDirective(Stmt):
+    """barrier / taskwait / cilk_sync as a statement of its own."""
+
+    directive: object = None
+
+
+@dataclasses.dataclass
+class SpawnStmt(Stmt):
+    """``spawn f(args);`` or ``spawn x = f(args);`` (Cilk)."""
+
+    call: CallExpr = None
+    target: Expr = None  # optional assignment target
+
+
+# --- top level ------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class Param:
+    name: str
+    type: TypeSpec
+
+
+@dataclasses.dataclass
+class FuncDecl:
+    name: str
+    params: list
+    return_type: TypeSpec
+    body: Block
+    line: int = None
+
+
+@dataclasses.dataclass
+class GlobalDecl:
+    name: str
+    type: TypeSpec
+    init: Expr = None
+    threadprivate: bool = False
+    line: int = None
+
+
+@dataclasses.dataclass
+class Program:
+    globals: list
+    functions: list

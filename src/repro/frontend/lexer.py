@@ -1,0 +1,139 @@
+"""Tokenizer for the MiniOMP language."""
+
+import re
+
+from repro.util.errors import FrontendError
+
+KEYWORDS = frozenset(
+    {
+        "func",
+        "global",
+        "var",
+        "if",
+        "else",
+        "while",
+        "for",
+        "in",
+        "step",
+        "return",
+        "print",
+        "true",
+        "false",
+        "pragma",
+        "omp",
+        "int",
+        "float",
+        "bool",
+        "void",
+        "spawn",
+        "sync",
+        "cilk_for",
+        "cilk_scope",
+        "reducer",
+    }
+)
+
+# Type keywords get a _KW suffix so they cannot collide with the INT/FLOAT
+# literal token kinds.
+_KEYWORD_KINDS = {
+    "int": "INT_KW",
+    "float": "FLOAT_KW",
+    "bool": "BOOL_KW",
+    "void": "VOID_KW",
+}
+
+_TOKEN_SPEC = [
+    ("COMMENT", r"//[^\n]*"),
+    # Negative lookahead keeps "0..10" from lexing as the float "0.".
+    ("FLOAT", r"\d+\.(?!\.)\d*(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+"),
+    ("INT", r"\d+"),
+    ("STRING", r'"[^"\n]*"'),
+    ("IDENT", r"[A-Za-z_][A-Za-z0-9_]*"),
+    ("DOTDOT", r"\.\."),
+    ("ARROW", r"->"),
+    ("LE", r"<="),
+    ("GE", r">="),
+    ("EQ", r"=="),
+    ("NE", r"!="),
+    ("AND", r"&&"),
+    ("OR", r"\|\|"),
+    ("AMP", r"&"),
+    ("PIPE", r"\|"),
+    ("CARET", r"\^"),
+    ("LT", r"<"),
+    ("GT", r">"),
+    ("ASSIGN", r"="),
+    ("PLUS", r"\+"),
+    ("MINUS", r"-"),
+    ("STAR", r"\*"),
+    ("SLASH", r"/"),
+    ("PERCENT", r"%"),
+    ("BANG", r"!"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("LBRACE", r"\{"),
+    ("RBRACE", r"\}"),
+    ("LBRACKET", r"\["),
+    ("RBRACKET", r"\]"),
+    ("SEMI", r";"),
+    ("COLON", r":"),
+    ("COMMA", r","),
+    ("NEWLINE", r"\n"),
+    ("WS", r"[ \t\r]+"),
+]
+
+_MASTER_RE = re.compile(
+    "|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC)
+)
+
+
+class Token:
+    """One lexical token with source position."""
+
+    __slots__ = ("kind", "text", "line", "column")
+
+    def __init__(self, kind, text, line, column):
+        self.kind = kind
+        self.text = text
+        self.line = line
+        self.column = column
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.text!r}, line {self.line})"
+
+
+def tokenize(source):
+    """Convert source text into a token list (EOF token appended).
+
+    Newlines matter only for pragma lines, so the lexer keeps NEWLINE
+    tokens; the parser skips them except while reading a pragma.
+    """
+    tokens = []
+    line = 1
+    line_start = 0
+    position = 0
+    length = len(source)
+    while position < length:
+        match = _MASTER_RE.match(source, position)
+        if match is None:
+            column = position - line_start + 1
+            raise FrontendError(
+                f"unexpected character {source[position]!r}", line, column
+            )
+        kind = match.lastgroup
+        text = match.group()
+        column = position - line_start + 1
+        if kind == "NEWLINE":
+            tokens.append(Token("NEWLINE", text, line, column))
+            line += 1
+            line_start = match.end()
+        elif kind in ("WS", "COMMENT"):
+            pass
+        elif kind == "IDENT" and text in KEYWORDS:
+            keyword_kind = _KEYWORD_KINDS.get(text, text.upper())
+            tokens.append(Token(keyword_kind, text, line, column))
+        else:
+            tokens.append(Token(kind, text, line, column))
+        position = match.end()
+    tokens.append(Token("EOF", "", line, position - line_start + 1))
+    return tokens

@@ -1,0 +1,683 @@
+"""Recursive-descent parser for MiniOMP.
+
+MiniOMP is a small C-like language with OpenMP-style pragma lines and Cilk
+keywords, rich enough to express the NAS kernel skeletons the paper
+evaluates on::
+
+    global key_buff: int[1024];
+
+    func main() {
+      var s: int = 0;
+      pragma omp parallel
+      {
+        pragma omp for reduction(+: s) schedule(static)
+        for i in 0..1024 {
+          s = s + key_buff[i];
+        }
+        pragma omp single
+        { print(s); }
+      }
+    }
+
+Pragmas are line-oriented (as in C): the directive and its clauses must
+stay on one line, and annotate the statement that follows.
+"""
+
+from repro.frontend import ast
+from repro.frontend.directives import (
+    Clauses,
+    Directive,
+    REDUCTION_OPS,
+)
+from repro.frontend.lexer import tokenize
+from repro.util.errors import FrontendError
+
+_TYPE_KEYWORDS = {
+    "INT_KW": "int",
+    "FLOAT_KW": "float",
+    "BOOL_KW": "bool",
+    "VOID_KW": "void",
+}
+
+_CLAUSE_NAMES = frozenset(
+    {
+        "private",
+        "firstprivate",
+        "lastprivate",
+        "shared",
+        "reduction",
+        "schedule",
+        "nowait",
+        "depend",
+        "anyvalue",
+        "ordered",
+    }
+)
+
+
+class _TokenStream:
+    def __init__(self, tokens):
+        self._tokens = tokens
+        self._pos = 0
+
+    def _skip_newlines(self):
+        while self._tokens[self._pos].kind == "NEWLINE":
+            self._pos += 1
+
+    def peek(self, offset=0):
+        self._skip_newlines()
+        pos = self._pos
+        seen = 0
+        while True:
+            token = self._tokens[pos]
+            if token.kind != "NEWLINE":
+                if seen == offset:
+                    return token
+                seen += 1
+            if token.kind == "EOF":
+                return token
+            pos += 1
+
+    def next(self):
+        self._skip_newlines()
+        token = self._tokens[self._pos]
+        if token.kind != "EOF":
+            self._pos += 1
+        return token
+
+    def next_raw(self):
+        """Advance without skipping newlines (pragma-line reading)."""
+        token = self._tokens[self._pos]
+        if token.kind != "EOF":
+            self._pos += 1
+        return token
+
+    def expect(self, kind):
+        token = self.next()
+        if token.kind != kind:
+            raise FrontendError(
+                f"expected {kind}, found {token.kind} ({token.text!r})",
+                token.line,
+                token.column,
+            )
+        return token
+
+    def accept(self, kind):
+        if self.peek().kind == kind:
+            return self.next()
+        return None
+
+
+class Parser:
+    """Parses a full MiniOMP program."""
+
+    def __init__(self, source):
+        self.stream = _TokenStream(tokenize(source))
+
+    # -- top level -----------------------------------------------------------
+
+    def parse_program(self):
+        globals_, functions = [], []
+        pending_threadprivate = []
+        while True:
+            token = self.stream.peek()
+            if token.kind == "EOF":
+                break
+            if token.kind == "GLOBAL":
+                globals_.append(self._parse_global())
+            elif token.kind == "FUNC":
+                functions.append(self._parse_function())
+            elif token.kind == "PRAGMA":
+                directive = self._parse_pragma_line()
+                if directive.kind != "threadprivate":
+                    raise FrontendError(
+                        f"only threadprivate pragmas are allowed at top "
+                        f"level, found {directive.kind!r}",
+                        directive.line,
+                    )
+                pending_threadprivate.extend(directive.clauses.shared)
+            else:
+                raise FrontendError(
+                    f"expected global/func declaration, found {token.text!r}",
+                    token.line,
+                    token.column,
+                )
+        for decl in globals_:
+            if decl.name in pending_threadprivate:
+                decl.threadprivate = True
+                pending_threadprivate = [
+                    n for n in pending_threadprivate if n != decl.name
+                ]
+        if pending_threadprivate:
+            raise FrontendError(
+                f"threadprivate names not declared as globals: "
+                f"{pending_threadprivate}"
+            )
+        return ast.Program(globals_, functions)
+
+    def _parse_global(self):
+        token = self.stream.expect("GLOBAL")
+        name = self.stream.expect("IDENT").text
+        self.stream.expect("COLON")
+        type_spec = self._parse_type()
+        init = None
+        if self.stream.accept("ASSIGN"):
+            init = self._parse_expression()
+        self.stream.expect("SEMI")
+        return ast.GlobalDecl(name, type_spec, init, line=token.line)
+
+    def _parse_function(self):
+        token = self.stream.expect("FUNC")
+        name = self.stream.expect("IDENT").text
+        self.stream.expect("LPAREN")
+        params = []
+        if self.stream.peek().kind != "RPAREN":
+            while True:
+                pname = self.stream.expect("IDENT").text
+                self.stream.expect("COLON")
+                ptype = self._parse_type()
+                params.append(ast.Param(pname, ptype))
+                if not self.stream.accept("COMMA"):
+                    break
+        self.stream.expect("RPAREN")
+        return_type = ast.TypeSpec("void")
+        if self.stream.accept("ARROW"):
+            return_type = self._parse_type()
+        body = self._parse_block()
+        return ast.FuncDecl(name, params, return_type, body, line=token.line)
+
+    def _parse_type(self):
+        token = self.stream.next()
+        base = _TYPE_KEYWORDS.get(token.kind)
+        if base is None:
+            raise FrontendError(
+                f"expected a type, found {token.text!r}", token.line
+            )
+        dims = []
+        while self.stream.accept("LBRACKET"):
+            size = self.stream.expect("INT")
+            dims.append(int(size.text))
+            self.stream.expect("RBRACKET")
+        return ast.TypeSpec(base, dims)
+
+    # -- pragmas -----------------------------------------------------------
+
+    def _parse_pragma_line(self):
+        """Parse ``pragma omp <directive> <clauses...>`` up to end of line."""
+        token = self.stream.expect("PRAGMA")
+        self.stream.expect("OMP")
+        line_tokens = []
+        while True:
+            raw = self.stream._tokens[self.stream._pos]
+            if raw.kind in ("NEWLINE", "EOF"):
+                break
+            line_tokens.append(self.stream.next_raw())
+        return self._parse_directive(line_tokens, token.line)
+
+    def _parse_directive(self, tokens, line):
+        cursor = _ListCursor(tokens, line)
+        head = cursor.expect_ident("directive name")
+        kind = head
+        if head == "parallel" and cursor.peek_text() == "for":
+            cursor.advance()
+            kind = "parallel_for"
+        clauses = Clauses()
+        if kind == "critical" and cursor.peek_kind() == "LPAREN":
+            cursor.advance()
+            clauses.critical_name = cursor.expect_ident("critical name")
+            cursor.expect_kind("RPAREN")
+        if kind == "threadprivate":
+            cursor.expect_kind("LPAREN")
+            while True:
+                clauses.shared.append(cursor.expect_ident("variable"))
+                if cursor.peek_kind() != "COMMA":
+                    break
+                cursor.advance()
+            cursor.expect_kind("RPAREN")
+        self._parse_clauses(cursor, clauses)
+        return Directive(kind, clauses, line=line)
+
+    def _parse_clauses(self, cursor, clauses):
+        while True:
+            name = cursor.peek_text()
+            if name is None or name not in _CLAUSE_NAMES:
+                if cursor.peek_kind() is not None:
+                    token = cursor.tokens[cursor.pos]
+                    raise FrontendError(
+                        f"unexpected token {token.text!r} in pragma",
+                        token.line,
+                    )
+                return
+            cursor.advance()
+            if name == "nowait":
+                clauses.nowait = True
+                continue
+            if name == "ordered":
+                clauses.ordered_clause = True
+                continue
+            cursor.expect_kind("LPAREN")
+            if name == "reduction":
+                op = cursor.expect_reduction_op()
+                cursor.expect_kind("COLON")
+                while True:
+                    clauses.reductions.append(
+                        (op, cursor.expect_ident("variable"))
+                    )
+                    if cursor.peek_kind() != "COMMA":
+                        break
+                    cursor.advance()
+            elif name == "schedule":
+                kind = cursor.expect_ident("schedule kind")
+                chunk = None
+                if cursor.peek_kind() == "COMMA":
+                    cursor.advance()
+                    chunk = int(cursor.expect_int("chunk size"))
+                clauses.schedule = (kind, chunk)
+            elif name == "depend":
+                mode = cursor.expect_ident("depend mode")
+                cursor.expect_kind("COLON")
+                while True:
+                    clauses.depends.append(
+                        (mode, cursor.expect_ident("variable"))
+                    )
+                    if cursor.peek_kind() != "COMMA":
+                        break
+                    cursor.advance()
+            else:
+                bucket = getattr(clauses, name)
+                while True:
+                    bucket.append(cursor.expect_ident("variable"))
+                    if cursor.peek_kind() != "COMMA":
+                        break
+                    cursor.advance()
+            cursor.expect_kind("RPAREN")
+
+    # -- statements ----------------------------------------------------------
+
+    def _parse_block(self):
+        open_token = self.stream.expect("LBRACE")
+        statements = []
+        while self.stream.peek().kind != "RBRACE":
+            if self.stream.peek().kind == "EOF":
+                raise FrontendError("unterminated block", open_token.line)
+            statements.append(self._parse_statement())
+        self.stream.expect("RBRACE")
+        return ast.Block(statements, line=open_token.line)
+
+    def _parse_statement(self):
+        pragmas = []
+        while self.stream.peek().kind == "PRAGMA":
+            directive = self._parse_pragma_line()
+            if directive.is_standalone():
+                return ast.StandaloneDirective(
+                    directive=directive, line=directive.line, pragmas=pragmas
+                )
+            pragmas.append(directive)
+        statement = self._parse_base_statement()
+        statement.pragmas = pragmas + statement.pragmas
+        return statement
+
+    def _parse_base_statement(self):
+        token = self.stream.peek()
+        kind = token.kind
+        if kind == "VAR":
+            return self._parse_var_decl()
+        if kind == "IF":
+            return self._parse_if()
+        if kind == "WHILE":
+            return self._parse_while()
+        if kind == "FOR":
+            return self._parse_for()
+        if kind == "PRINT":
+            return self._parse_print()
+        if kind == "RETURN":
+            self.stream.next()
+            value = None
+            if self.stream.peek().kind != "SEMI":
+                value = self._parse_expression()
+            self.stream.expect("SEMI")
+            return ast.ReturnStmt(value=value, line=token.line)
+        if kind == "LBRACE":
+            return self._parse_block()
+        if kind == "SPAWN":
+            return self._parse_spawn()
+        if kind == "SYNC":
+            self.stream.next()
+            self.stream.expect("SEMI")
+            return ast.StandaloneDirective(
+                directive=Directive("cilk_sync", line=token.line),
+                line=token.line,
+            )
+        if kind == "CILK_FOR":
+            return self._parse_for(cilk=True)
+        if kind == "CILK_SCOPE":
+            self.stream.next()
+            block = self._parse_block()
+            block.pragmas.append(Directive("cilk_scope", line=token.line))
+            return block
+        if kind == "IDENT":
+            return self._parse_assign_or_call()
+        raise FrontendError(
+            f"unexpected token {token.text!r} at statement start",
+            token.line,
+            token.column,
+        )
+
+    def _parse_var_decl(self):
+        token = self.stream.expect("VAR")
+        name = self.stream.expect("IDENT").text
+        self.stream.expect("COLON")
+        type_spec = self._parse_type()
+        reducer_op = None
+        if self.stream.accept("REDUCER"):
+            self.stream.expect("LPAREN")
+            op_token = self.stream.next()
+            if op_token.text not in REDUCTION_OPS:
+                raise FrontendError(
+                    f"unknown reducer operator {op_token.text!r}",
+                    op_token.line,
+                )
+            reducer_op = op_token.text
+            self.stream.expect("RPAREN")
+        init = None
+        if self.stream.accept("ASSIGN"):
+            init = self._parse_expression()
+        self.stream.expect("SEMI")
+        return ast.VarDecl(
+            name=name,
+            type=type_spec,
+            init=init,
+            reducer_op=reducer_op,
+            line=token.line,
+        )
+
+    def _parse_if(self):
+        token = self.stream.expect("IF")
+        self.stream.expect("LPAREN")
+        condition = self._parse_expression()
+        self.stream.expect("RPAREN")
+        then_body = self._parse_block()
+        else_body = None
+        if self.stream.accept("ELSE"):
+            if self.stream.peek().kind == "IF":
+                nested = self._parse_if()
+                else_body = ast.Block([nested], line=nested.line)
+            else:
+                else_body = self._parse_block()
+        return ast.If(
+            condition=condition,
+            then_body=then_body,
+            else_body=else_body,
+            line=token.line,
+        )
+
+    def _parse_while(self):
+        token = self.stream.expect("WHILE")
+        self.stream.expect("LPAREN")
+        condition = self._parse_expression()
+        self.stream.expect("RPAREN")
+        body = self._parse_block()
+        return ast.While(condition=condition, body=body, line=token.line)
+
+    def _parse_for(self, cilk=False):
+        token = self.stream.next()  # FOR or CILK_FOR
+        var = self.stream.expect("IDENT").text
+        self.stream.expect("IN")
+        lower = self._parse_expression()
+        self.stream.expect("DOTDOT")
+        upper = self._parse_expression()
+        step = None
+        if self.stream.accept("STEP"):
+            step = self._parse_expression()
+        body = self._parse_block()
+        statement = ast.For(
+            var=var,
+            lower=lower,
+            upper=upper,
+            step=step,
+            body=body,
+            line=token.line,
+        )
+        if cilk:
+            statement.pragmas.append(Directive("cilk_for", line=token.line))
+        return statement
+
+    def _parse_print(self):
+        token = self.stream.expect("PRINT")
+        self.stream.expect("LPAREN")
+        args = []
+        if self.stream.peek().kind != "RPAREN":
+            while True:
+                args.append(self._parse_expression())
+                if not self.stream.accept("COMMA"):
+                    break
+        self.stream.expect("RPAREN")
+        self.stream.expect("SEMI")
+        return ast.PrintStmt(args=args, line=token.line)
+
+    def _parse_spawn(self):
+        token = self.stream.expect("SPAWN")
+        first = self._parse_postfix()
+        target = None
+        if self.stream.accept("ASSIGN"):
+            target = first
+            call = self._parse_postfix()
+        else:
+            call = first
+        if not isinstance(call, ast.CallExpr):
+            raise FrontendError("spawn requires a call", token.line)
+        self.stream.expect("SEMI")
+        return ast.SpawnStmt(call=call, target=target, line=token.line)
+
+    def _parse_assign_or_call(self):
+        start = self.stream.peek()
+        expr = self._parse_postfix()
+        if self.stream.accept("ASSIGN"):
+            value = self._parse_expression()
+            self.stream.expect("SEMI")
+            if not isinstance(expr, (ast.VarRef, ast.Index)):
+                raise FrontendError(
+                    "left side of assignment must be a variable or element",
+                    start.line,
+                )
+            return ast.Assign(target=expr, value=value, line=start.line)
+        self.stream.expect("SEMI")
+        if not isinstance(expr, ast.CallExpr):
+            raise FrontendError(
+                "expression statement must be a call", start.line
+            )
+        return ast.ExprStmt(expr=expr, line=start.line)
+
+    # -- expressions ----------------------------------------------------------
+
+    def _parse_expression(self):
+        return self._parse_or()
+
+    def _parse_or(self):
+        expr = self._parse_and()
+        while self.stream.peek().kind == "OR":
+            token = self.stream.next()
+            rhs = self._parse_and()
+            expr = ast.BinExpr("||", expr, rhs, line=token.line)
+        return expr
+
+    def _parse_and(self):
+        expr = self._parse_bitwise()
+        while self.stream.peek().kind == "AND":
+            token = self.stream.next()
+            rhs = self._parse_bitwise()
+            expr = ast.BinExpr("&&", expr, rhs, line=token.line)
+        return expr
+
+    def _parse_bitwise(self):
+        expr = self._parse_equality()
+        while self.stream.peek().kind in ("AMP", "PIPE", "CARET"):
+            token = self.stream.next()
+            op = {"AMP": "&", "PIPE": "|", "CARET": "^"}[token.kind]
+            rhs = self._parse_equality()
+            expr = ast.BinExpr(op, expr, rhs, line=token.line)
+        return expr
+
+    def _parse_equality(self):
+        expr = self._parse_relational()
+        while self.stream.peek().kind in ("EQ", "NE"):
+            token = self.stream.next()
+            op = "==" if token.kind == "EQ" else "!="
+            rhs = self._parse_relational()
+            expr = ast.BinExpr(op, expr, rhs, line=token.line)
+        return expr
+
+    def _parse_relational(self):
+        expr = self._parse_additive()
+        while self.stream.peek().kind in ("LT", "LE", "GT", "GE"):
+            token = self.stream.next()
+            op = {"LT": "<", "LE": "<=", "GT": ">", "GE": ">="}[token.kind]
+            rhs = self._parse_additive()
+            expr = ast.BinExpr(op, expr, rhs, line=token.line)
+        return expr
+
+    def _parse_additive(self):
+        expr = self._parse_multiplicative()
+        while self.stream.peek().kind in ("PLUS", "MINUS"):
+            token = self.stream.next()
+            op = "+" if token.kind == "PLUS" else "-"
+            rhs = self._parse_multiplicative()
+            expr = ast.BinExpr(op, expr, rhs, line=token.line)
+        return expr
+
+    def _parse_multiplicative(self):
+        expr = self._parse_unary()
+        while self.stream.peek().kind in ("STAR", "SLASH", "PERCENT"):
+            token = self.stream.next()
+            op = {"STAR": "*", "SLASH": "/", "PERCENT": "%"}[token.kind]
+            rhs = self._parse_unary()
+            expr = ast.BinExpr(op, expr, rhs, line=token.line)
+        return expr
+
+    def _parse_unary(self):
+        token = self.stream.peek()
+        if token.kind == "MINUS":
+            self.stream.next()
+            return ast.UnExpr("-", self._parse_unary(), line=token.line)
+        if token.kind == "BANG":
+            self.stream.next()
+            return ast.UnExpr("!", self._parse_unary(), line=token.line)
+        return self._parse_postfix()
+
+    def _parse_postfix(self):
+        expr = self._parse_primary()
+        while True:
+            token = self.stream.peek()
+            if token.kind == "LBRACKET":
+                self.stream.next()
+                index = self._parse_expression()
+                self.stream.expect("RBRACKET")
+                expr = ast.Index(expr, index, line=token.line)
+            elif token.kind == "LPAREN" and isinstance(expr, ast.VarRef):
+                self.stream.next()
+                args = []
+                if self.stream.peek().kind != "RPAREN":
+                    while True:
+                        args.append(self._parse_expression())
+                        if not self.stream.accept("COMMA"):
+                            break
+                self.stream.expect("RPAREN")
+                expr = ast.CallExpr(expr.name, args, line=token.line)
+            else:
+                return expr
+
+    def _parse_primary(self):
+        token = self.stream.next()
+        if token.kind == "INT":
+            return ast.IntLit(int(token.text), line=token.line)
+        if token.kind == "FLOAT":
+            return ast.FloatLit(float(token.text), line=token.line)
+        if token.kind == "TRUE":
+            return ast.BoolLit(True, line=token.line)
+        if token.kind == "FALSE":
+            return ast.BoolLit(False, line=token.line)
+        if token.kind == "STRING":
+            return ast.StringLit(token.text[1:-1], line=token.line)
+        if token.kind == "IDENT":
+            return ast.VarRef(token.text, line=token.line)
+        if token.kind == "LPAREN":
+            expr = self._parse_expression()
+            self.stream.expect("RPAREN")
+            return expr
+        if token.kind in _TYPE_KEYWORDS:
+            # Cast syntax: int(expr), float(expr).
+            self.stream.expect("LPAREN")
+            inner = self._parse_expression()
+            self.stream.expect("RPAREN")
+            return ast.CallExpr(
+                _TYPE_KEYWORDS[token.kind], [inner], line=token.line
+            )
+        raise FrontendError(
+            f"unexpected token {token.text!r} in expression",
+            token.line,
+            token.column,
+        )
+
+
+class _ListCursor:
+    """Cursor over the token list of a single pragma line."""
+
+    def __init__(self, tokens, line):
+        self.tokens = tokens
+        self.pos = 0
+        self.line = line
+
+    def peek_kind(self):
+        if self.pos >= len(self.tokens):
+            return None
+        return self.tokens[self.pos].kind
+
+    def peek_text(self):
+        if self.pos >= len(self.tokens):
+            return None
+        return self.tokens[self.pos].text
+
+    def advance(self):
+        self.pos += 1
+
+    def expect_kind(self, kind):
+        if self.peek_kind() != kind:
+            raise FrontendError(
+                f"expected {kind} in pragma, found {self.peek_text()!r}",
+                self.line,
+            )
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect_ident(self, what):
+        token_kind = self.peek_kind()
+        if token_kind is None:
+            raise FrontendError(f"expected {what} in pragma", self.line)
+        token = self.tokens[self.pos]
+        # Keywords (e.g. 'for', 'single') arrive as keyword tokens; accept
+        # any word-like token as an identifier inside pragmas.
+        if not token.text.replace("_", "").isalnum():
+            raise FrontendError(
+                f"expected {what} in pragma, found {token.text!r}", self.line
+            )
+        self.pos += 1
+        return token.text
+
+    def expect_int(self, what):
+        token = self.expect_kind("INT")
+        return token.text
+
+    def expect_reduction_op(self):
+        token_text = self.peek_text()
+        if token_text not in REDUCTION_OPS:
+            raise FrontendError(
+                f"unknown reduction operator {token_text!r}", self.line
+            )
+        self.pos += 1
+        return token_text
+
+
+def parse_source(source):
+    """Parse MiniOMP source text into an AST :class:`~repro.frontend.ast.Program`."""
+    return Parser(source).parse_program()

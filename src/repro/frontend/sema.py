@@ -1,0 +1,265 @@
+"""Semantic checks over the MiniOMP AST.
+
+The semantic pass validates names and pragma placement before lowering:
+
+* globals/functions/locals are declared once per scope and referenced
+  declared;
+* function signatures are consistent at call sites (arity; full type
+  checking, including numeric promotion, happens during lowering where IR
+  types are at hand);
+* loop-independence pragmas (``for``, ``parallel for``, ``taskloop``,
+  ``simd``, ``cilk_for``) annotate ``for`` statements;
+* clause variables are declared in scope, and reduction/anyvalue clause
+  variables are scalars.
+
+It produces a :class:`ProgramInfo` with the signature tables the lowerer
+needs.
+"""
+
+import dataclasses
+
+from repro.frontend import ast
+from repro.util.errors import FrontendError
+
+BUILTIN_FUNCTIONS = frozenset(
+    {
+        "sqrt",
+        "sin",
+        "cos",
+        "exp",
+        "log",
+        "floor",
+        "abs",
+        "min",
+        "max",
+        "int",
+        "float",
+    }
+)
+
+
+@dataclasses.dataclass
+class ProgramInfo:
+    """Symbol tables produced by semantic analysis."""
+
+    global_types: dict  # name -> TypeSpec
+    threadprivate: set  # global names marked threadprivate
+    signatures: dict  # func name -> (list[TypeSpec], TypeSpec)
+
+
+class _Scope:
+    def __init__(self, parent=None):
+        self.parent = parent
+        self.names = {}
+
+    def declare(self, name, type_spec, line=None):
+        if name in self.names:
+            raise FrontendError(f"duplicate declaration of {name!r}", line)
+        self.names[name] = type_spec
+
+    def lookup(self, name):
+        scope = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+
+class SemanticChecker:
+    """Walks the AST, raising :class:`FrontendError` on the first problem."""
+
+    def __init__(self, program):
+        self.program = program
+        self.info = ProgramInfo({}, set(), {})
+
+    def run(self):
+        for decl in self.program.globals:
+            if decl.name in self.info.global_types:
+                raise FrontendError(
+                    f"duplicate global {decl.name!r}", decl.line
+                )
+            self.info.global_types[decl.name] = decl.type
+            if decl.threadprivate:
+                self.info.threadprivate.add(decl.name)
+            if decl.init is not None and decl.type.is_array():
+                raise FrontendError(
+                    "array globals cannot have initializers", decl.line
+                )
+
+        for func in self.program.functions:
+            if func.name in self.info.signatures:
+                raise FrontendError(f"duplicate function {func.name!r}", func.line)
+            if func.name in BUILTIN_FUNCTIONS:
+                raise FrontendError(
+                    f"function name {func.name!r} shadows a builtin", func.line
+                )
+            self.info.signatures[func.name] = (
+                [p.type for p in func.params],
+                func.return_type,
+            )
+
+        for func in self.program.functions:
+            self._check_function(func)
+        return self.info
+
+    # -- function bodies ---------------------------------------------------
+
+    def _check_function(self, func):
+        scope = _Scope()
+        for name, type_spec in self.info.global_types.items():
+            scope.declare(name, type_spec)
+        inner = _Scope(scope)
+        for param in func.params:
+            inner.declare(param.name, param.type, func.line)
+        self._check_block(func.body, _Scope(inner), func)
+
+    def _check_block(self, block, scope, func):
+        for statement in block.statements:
+            self._check_statement(statement, scope, func)
+
+    def _check_statement(self, statement, scope, func):
+        self._check_pragmas(statement, scope)
+        if isinstance(statement, ast.VarDecl):
+            scope.declare(statement.name, statement.type, statement.line)
+            if statement.init is not None:
+                if statement.type.is_array():
+                    raise FrontendError(
+                        "array variables cannot have initializers",
+                        statement.line,
+                    )
+                self._check_expression(statement.init, scope)
+        elif isinstance(statement, ast.Assign):
+            self._check_expression(statement.target, scope)
+            self._check_expression(statement.value, scope)
+        elif isinstance(statement, ast.If):
+            self._check_expression(statement.condition, scope)
+            self._check_block(statement.then_body, _Scope(scope), func)
+            if statement.else_body is not None:
+                self._check_block(statement.else_body, _Scope(scope), func)
+        elif isinstance(statement, ast.While):
+            self._check_expression(statement.condition, scope)
+            self._check_block(statement.body, _Scope(scope), func)
+        elif isinstance(statement, ast.For):
+            self._check_expression(statement.lower, scope)
+            self._check_expression(statement.upper, scope)
+            if statement.step is not None:
+                self._check_expression(statement.step, scope)
+            loop_scope = _Scope(scope)
+            loop_scope.declare(
+                statement.var, ast.TypeSpec("int"), statement.line
+            )
+            self._check_block(statement.body, loop_scope, func)
+        elif isinstance(statement, ast.PrintStmt):
+            for arg in statement.args:
+                self._check_expression(arg, scope)
+        elif isinstance(statement, ast.ReturnStmt):
+            if statement.value is not None:
+                self._check_expression(statement.value, scope)
+                if func.return_type.base == "void":
+                    raise FrontendError(
+                        "void function returns a value", statement.line
+                    )
+            elif func.return_type.base != "void":
+                raise FrontendError(
+                    "non-void function returns no value", statement.line
+                )
+        elif isinstance(statement, ast.ExprStmt):
+            self._check_expression(statement.expr, scope)
+        elif isinstance(statement, ast.Block):
+            self._check_block(statement, _Scope(scope), func)
+        elif isinstance(statement, ast.SpawnStmt):
+            self._check_expression(statement.call, scope)
+            if statement.target is not None:
+                self._check_expression(statement.target, scope)
+        elif isinstance(statement, ast.StandaloneDirective):
+            pass
+        else:
+            raise FrontendError(
+                f"unhandled statement {type(statement).__name__}",
+                statement.line,
+            )
+
+    def _check_pragmas(self, statement, scope):
+        for directive in statement.pragmas:
+            if directive.declares_loop_independence() and not isinstance(
+                statement, ast.For
+            ):
+                raise FrontendError(
+                    f"directive {directive.kind!r} must annotate a for loop",
+                    directive.line,
+                )
+            names = directive.clauses.all_variable_names()
+            loop_var = (
+                statement.var if isinstance(statement, ast.For) else None
+            )
+            for name in names:
+                if name == loop_var:
+                    continue
+                if scope.lookup(name) is None:
+                    raise FrontendError(
+                        f"pragma clause names undeclared variable {name!r}",
+                        directive.line,
+                    )
+            for _op, name in directive.clauses.reductions:
+                type_spec = scope.lookup(name)
+                if type_spec is not None and type_spec.is_array():
+                    # Array reductions are allowed (element-wise merge);
+                    # matches OpenMP 4.5+ array-section reductions.
+                    continue
+            for name in directive.clauses.anyvalue:
+                type_spec = scope.lookup(name)
+                if type_spec is not None and type_spec.is_array():
+                    raise FrontendError(
+                        f"anyvalue({name}) requires a scalar", directive.line
+                    )
+
+    # -- expressions -----------------------------------------------------------
+
+    def _check_expression(self, expr, scope):
+        if isinstance(
+            expr, (ast.IntLit, ast.FloatLit, ast.BoolLit, ast.StringLit)
+        ):
+            return
+        if isinstance(expr, ast.VarRef):
+            if scope.lookup(expr.name) is None:
+                raise FrontendError(
+                    f"undeclared variable {expr.name!r}", expr.line
+                )
+            return
+        if isinstance(expr, ast.Index):
+            self._check_expression(expr.base, scope)
+            self._check_expression(expr.index, scope)
+            return
+        if isinstance(expr, ast.BinExpr):
+            self._check_expression(expr.lhs, scope)
+            self._check_expression(expr.rhs, scope)
+            return
+        if isinstance(expr, ast.UnExpr):
+            self._check_expression(expr.operand, scope)
+            return
+        if isinstance(expr, ast.CallExpr):
+            if expr.name not in BUILTIN_FUNCTIONS:
+                signature = self.info.signatures.get(expr.name)
+                if signature is None:
+                    raise FrontendError(
+                        f"call to undeclared function {expr.name!r}",
+                        expr.line,
+                    )
+                if len(signature[0]) != len(expr.args):
+                    raise FrontendError(
+                        f"call to {expr.name!r} passes {len(expr.args)} "
+                        f"arguments, expected {len(signature[0])}",
+                        expr.line,
+                    )
+            for arg in expr.args:
+                self._check_expression(arg, scope)
+            return
+        raise FrontendError(
+            f"unhandled expression {type(expr).__name__}", expr.line
+        )
+
+
+def check_program(program):
+    """Run semantic analysis; returns :class:`ProgramInfo`."""
+    return SemanticChecker(program).run()

@@ -1,0 +1,108 @@
+"""repro.ir — the sequential core of the intermediate representation.
+
+A compact LLVM-flavoured IR: typed values, alloca-based variables,
+loads/stores, explicit CFG, and no phi nodes (source variables live in
+memory).  Parallel semantics are layered on top by ``repro.frontend``
+annotations; this package is purely sequential.
+"""
+
+from repro.ir.types import (
+    BOOL,
+    FLOAT,
+    INT,
+    VOID,
+    ArrayType,
+    BoolType,
+    FloatType,
+    IntType,
+    PointerType,
+    Type,
+    VoidType,
+    array_of,
+    pointer_to,
+)
+from repro.ir.values import (
+    Argument,
+    Constant,
+    GlobalVariable,
+    Value,
+    const_bool,
+    const_float,
+    const_int,
+)
+from repro.ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    Compare,
+    GetElementPtr,
+    Instruction,
+    Jump,
+    Load,
+    Print,
+    Return,
+    Select,
+    Store,
+    Terminator,
+    UnaryOp,
+)
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function, Module
+from repro.ir.builder import IRBuilder
+from repro.ir.loopinfo import CanonicalLoop
+from repro.ir.parser import IRParser, parse_ir
+from repro.ir.printer import dump, print_function, print_module
+from repro.ir.verifier import verify_function, verify_module
+
+__all__ = [
+    "BOOL",
+    "FLOAT",
+    "INT",
+    "VOID",
+    "ArrayType",
+    "BoolType",
+    "FloatType",
+    "IntType",
+    "PointerType",
+    "Type",
+    "VoidType",
+    "array_of",
+    "pointer_to",
+    "Argument",
+    "Constant",
+    "GlobalVariable",
+    "Value",
+    "const_bool",
+    "const_float",
+    "const_int",
+    "Alloca",
+    "BinaryOp",
+    "Branch",
+    "Call",
+    "Cast",
+    "Compare",
+    "GetElementPtr",
+    "Instruction",
+    "Jump",
+    "Load",
+    "Print",
+    "Return",
+    "Select",
+    "Store",
+    "Terminator",
+    "UnaryOp",
+    "BasicBlock",
+    "Function",
+    "Module",
+    "IRBuilder",
+    "CanonicalLoop",
+    "IRParser",
+    "parse_ir",
+    "dump",
+    "print_function",
+    "print_module",
+    "verify_function",
+    "verify_module",
+]

@@ -1,0 +1,283 @@
+"""Textual IR parser: the inverse of :mod:`repro.ir.printer`.
+
+Parses the printer's output back into a :class:`Module`, enabling IR-level
+round-trip tests, golden files, and pasting dumped IR into bug reports.
+Scope: globals, functions, blocks, and every instruction form the printer
+emits.  The metadata comment lines (``; loop ...``, ``; region ...``) are
+*not* reconstructed — parallel annotations reference frontend objects that
+plain text cannot round-trip; parsed modules are sequential IR.
+"""
+
+import re
+
+from repro.ir import instructions as insts
+from repro.ir.function import Module
+from repro.ir.types import (
+    BOOL,
+    FLOAT,
+    INT,
+    VOID,
+    ArrayType,
+    PointerType,
+)
+from repro.ir.values import Constant
+from repro.util.errors import IRError
+
+_SCALARS = {"int": INT, "float": FLOAT, "bool": BOOL, "void": VOID}
+
+_GLOBAL_RE = re.compile(r"^global @(\w+): (.+?)(?: = (.+))?$")
+_FUNC_RE = re.compile(r"^func @(\w+)\((.*)\) -> (.+) \{$")
+_BLOCK_RE = re.compile(r"^([\w.]+):$")
+_ASSIGN_RE = re.compile(r"^%(\d+) = (.+)$")
+
+
+def _parse_type(text):
+    text = text.strip()
+    if text.endswith("*"):
+        return PointerType(_parse_type(text[:-1]))
+    if text.startswith("["):
+        if not text.endswith("]"):
+            raise IRError(f"malformed array type {text!r}")
+        inner = text[1:-1]
+        count_text, _, element_text = inner.partition(" x ")
+        return ArrayType(_parse_type(element_text), int(count_text))
+    if text in _SCALARS:
+        return _SCALARS[text]
+    raise IRError(f"unknown type {text!r}")
+
+
+def _split_operands(text):
+    """Split a comma-separated operand list, respecting brackets."""
+    parts = []
+    depth = 0
+    current = []
+    for char in text:
+        if char in "([":
+            depth += 1
+        elif char in ")]":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+class IRParser:
+    """Parses one printed module."""
+
+    def __init__(self, text):
+        self.lines = [line.rstrip() for line in text.splitlines()]
+        self.position = 0
+        self.module = Module()
+
+    def parse(self):
+        while self.position < len(self.lines):
+            line = self.lines[self.position].strip()
+            if not line or line.startswith(";"):
+                self.position += 1
+                continue
+            if line.startswith("global @"):
+                self._parse_global(line)
+                self.position += 1
+                continue
+            if line.startswith("func @"):
+                self._parse_function_header(line)
+                continue
+            raise IRError(f"unexpected line {line!r}")
+        self._resolve_all()
+        return self.module
+
+    # -- pieces -----------------------------------------------------------
+
+    def _parse_global(self, line):
+        match = _GLOBAL_RE.match(line)
+        if match is None:
+            raise IRError(f"malformed global {line!r}")
+        name, type_text, init_text = match.groups()
+        initializer = None
+        if init_text is not None:
+            initializer = eval(init_text, {"__builtins__": {}})  # literals only
+        self.module.add_global(name, _parse_type(type_text), initializer)
+
+    def _parse_function_header(self, line):
+        match = _FUNC_RE.match(line)
+        if match is None:
+            raise IRError(f"malformed function header {line!r}")
+        name, params_text, return_text = match.groups()
+        arg_types = []
+        arg_names = []
+        if params_text.strip():
+            for param in _split_operands(params_text):
+                pname, _, ptype = param.partition(":")
+                arg_names.append(pname.strip().lstrip("%"))
+                arg_types.append(_parse_type(ptype))
+        function = self.module.create_function(
+            name, arg_types, arg_names, _parse_type(return_text)
+        )
+        self.position += 1
+        self._parse_function_body(function)
+
+    def _parse_function_body(self, function):
+        # First pass: discover block labels so branches can forward-ref.
+        scan = self.position
+        while scan < len(self.lines):
+            line = self.lines[scan].strip()
+            if line == "}":
+                break
+            match = _BLOCK_RE.match(line)
+            if match and not self.lines[scan].startswith("  "):
+                function.create_block(match.group(1))
+            scan += 1
+
+        block = None
+        pending = []  # (block, raw instruction text) in order
+        while self.position < len(self.lines):
+            raw = self.lines[self.position]
+            line = raw.strip()
+            self.position += 1
+            if line == "}":
+                break
+            match = _BLOCK_RE.match(line)
+            if match and not raw.startswith("  "):
+                block = function.block(match.group(1))
+                continue
+            if not line or line.startswith(";"):
+                continue
+            pending.append((block, line))
+        self._pending_functions = getattr(self, "_pending_functions", [])
+        self._pending_functions.append((function, pending))
+
+    def _resolve_all(self):
+        """Second pass: build instructions (calls may be forward refs)."""
+        for function, pending in getattr(self, "_pending_functions", []):
+            values = {}  # "%N" -> Value
+            for argument in function.args:
+                values[f"%{argument.name}"] = argument
+
+            for block, line in pending:
+                inst, uid = self._build_instruction(function, line, values)
+                block.append(inst)
+                if uid is not None:
+                    values[f"%{uid}"] = inst
+
+    def _operand(self, text, values):
+        text = text.strip()
+        if text.startswith("@"):
+            return self.module.globals[text[1:]]
+        if text.startswith("%"):
+            try:
+                return values[text]
+            except KeyError:
+                raise IRError(f"use of undefined value {text}") from None
+        if text == "True":
+            return Constant(BOOL, True)
+        if text == "False":
+            return Constant(BOOL, False)
+        try:
+            return Constant(INT, int(text))
+        except ValueError:
+            return Constant(FLOAT, float(text))
+
+    def _build_instruction(self, function, line, values):
+        uid = None
+        body = line
+        match = _ASSIGN_RE.match(line)
+        if match is not None:
+            uid = int(match.group(1))
+            body = match.group(2)
+
+        opcode, _, rest = body.partition(" ")
+        rest = rest.strip()
+
+        if opcode == "alloca":
+            type_text, _, comment = rest.partition(";")
+            inst = insts.Alloca(
+                _parse_type(type_text), comment.strip() or None
+            )
+        elif opcode == "load":
+            inst = insts.Load(self._operand(rest, values))
+        elif opcode == "store":
+            value_text, pointer_text = _split_operands(rest)
+            inst = insts.Store(
+                self._operand(value_text, values),
+                self._operand(pointer_text, values),
+            )
+        elif opcode == "gep":
+            pointer_text, index_text = _split_operands(rest)
+            inst = insts.GetElementPtr(
+                self._operand(pointer_text, values),
+                self._operand(index_text, values),
+            )
+        elif opcode in insts.BINARY_OPS:
+            lhs, rhs = _split_operands(rest)
+            inst = insts.BinaryOp(
+                opcode, self._operand(lhs, values), self._operand(rhs, values)
+            )
+        elif opcode in insts.UNARY_OPS:
+            inst = insts.UnaryOp(opcode, self._operand(rest, values))
+        elif opcode == "cmp":
+            predicate, _, operands = rest.partition(" ")
+            lhs, rhs = _split_operands(operands)
+            inst = insts.Compare(
+                predicate,
+                self._operand(lhs, values),
+                self._operand(rhs, values),
+            )
+        elif opcode == "select":
+            cond, if_true, if_false = _split_operands(rest)
+            inst = insts.Select(
+                self._operand(cond, values),
+                self._operand(if_true, values),
+                self._operand(if_false, values),
+            )
+        elif opcode in insts.CAST_KINDS:
+            inst = insts.Cast(opcode, self._operand(rest, values))
+        elif opcode == "call":
+            name, _, arg_text = rest.partition("(")
+            callee = self.module.function(name.strip().lstrip("@"))
+            arg_text = arg_text.rstrip(")")
+            args = [
+                self._operand(a, values)
+                for a in _split_operands(arg_text)
+                if a
+            ]
+            inst = insts.Call(callee, args)
+        elif opcode == "print":
+            label = None
+            if rest.startswith('"'):
+                closing = rest.index('"', 1)
+                label = rest[1:closing]
+                rest = rest[closing + 1 :].strip()
+            operands = [
+                self._operand(o, values)
+                for o in _split_operands(rest)
+                if o
+            ]
+            inst = insts.Print(operands, label)
+        elif opcode == "jump":
+            inst = insts.Jump(function.block(rest))
+        elif opcode == "branch":
+            cond, if_true, if_false = _split_operands(rest)
+            inst = insts.Branch(
+                self._operand(cond, values),
+                function.block(if_true),
+                function.block(if_false),
+            )
+        elif opcode == "return":
+            if rest:
+                inst = insts.Return(self._operand(rest, values))
+            else:
+                inst = insts.Return()
+        else:
+            raise IRError(f"unknown instruction {line!r}")
+        return inst, uid
+
+
+def parse_ir(text):
+    """Parse printed IR text back into a (sequential) Module."""
+    return IRParser(text).parse()

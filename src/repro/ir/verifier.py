@@ -1,0 +1,137 @@
+"""Structural verification of IR functions and modules.
+
+Checks the invariants every later stage assumes.  Run it after frontend
+lowering and after transforms; a verifier failure points at the producer,
+not the consumer, which makes pipeline bugs much cheaper to find.
+"""
+
+from repro.ir.instructions import (
+    Alloca,
+    Instruction,
+    Terminator,
+)
+from repro.ir.values import Argument, Constant, GlobalVariable
+from repro.util.errors import VerificationError
+
+
+def verify_function(function, module=None):
+    """Raise :class:`VerificationError` on the first violated invariant.
+
+    Invariants checked:
+
+    1. The function has at least one block and every block is terminated.
+    2. Terminators appear only in final position.
+    3. Branch/jump targets belong to this function.
+    4. Every instruction's parent/uid bookkeeping is consistent and uids
+       are unique.
+    5. Operands are constants, arguments, globals, or instructions of this
+       same function that appear *before* their use in block order when in
+       the same block (cross-block temporary uses are checked by dominance
+       in the analysis layer; here we check same-block ordering which the
+       frontend guarantees).
+    6. Loop metadata refers to existing blocks and allocas.
+    """
+    if not function.blocks:
+        raise VerificationError(f"@{function.name}: function has no blocks")
+
+    block_set = set(function.blocks)
+    seen_uids = set()
+    defined = set()
+
+    for block in function.blocks:
+        if block.parent is not function:
+            raise VerificationError(
+                f"@{function.name}: block {block.name} has wrong parent"
+            )
+        if not block.is_terminated():
+            raise VerificationError(
+                f"@{function.name}: block {block.name} lacks a terminator"
+            )
+        for position, inst in enumerate(block.instructions):
+            if inst.parent is not block:
+                raise VerificationError(
+                    f"@{function.name}:{block.name}: instruction "
+                    f"{inst.opcode} has wrong parent"
+                )
+            if inst.uid is None or inst.uid in seen_uids:
+                raise VerificationError(
+                    f"@{function.name}:{block.name}: duplicate or missing "
+                    f"uid on {inst.opcode}"
+                )
+            seen_uids.add(inst.uid)
+            is_last = position == len(block.instructions) - 1
+            if isinstance(inst, Terminator) and not is_last:
+                raise VerificationError(
+                    f"@{function.name}:{block.name}: terminator "
+                    f"{inst.opcode} not in final position"
+                )
+            for target in inst.successors() if isinstance(inst, Terminator) else []:
+                if target not in block_set:
+                    raise VerificationError(
+                        f"@{function.name}:{block.name}: branch to foreign "
+                        f"block {target.name}"
+                    )
+            _check_operands(function, block, inst, defined)
+            defined.add(inst)
+
+    _check_loop_info(function)
+    if module is not None:
+        _check_calls(function, module)
+
+
+def _check_operands(function, block, inst, defined):
+    for op in inst.operands:
+        if isinstance(op, (Constant, GlobalVariable)):
+            continue
+        if isinstance(op, Argument):
+            if op not in function.args:
+                raise VerificationError(
+                    f"@{function.name}:{block.name}: foreign argument "
+                    f"%{op.name}"
+                )
+            continue
+        if isinstance(op, Instruction):
+            if op not in defined:
+                raise VerificationError(
+                    f"@{function.name}:{block.name}: {inst.opcode}#{inst.uid} "
+                    f"uses %{op.uid} before its definition"
+                )
+            continue
+        raise VerificationError(
+            f"@{function.name}:{block.name}: invalid operand kind "
+            f"{type(op).__name__}"
+        )
+
+
+def _check_loop_info(function):
+    names = {b.name for b in function.blocks}
+    for header, loop in function.loop_info.items():
+        for field in ("header", "body", "latch", "exit"):
+            block_name = getattr(loop, field)
+            if block_name not in names:
+                raise VerificationError(
+                    f"@{function.name}: loop metadata {header!r} names "
+                    f"missing block {block_name!r}"
+                )
+        if not isinstance(loop.induction, Alloca):
+            raise VerificationError(
+                f"@{function.name}: loop metadata {header!r} induction "
+                f"is not an alloca"
+            )
+
+
+def _check_calls(function, module):
+    for inst in function.instructions():
+        if inst.opcode == "call":
+            callee = inst.callee
+            if module.functions.get(callee.name) is not callee:
+                raise VerificationError(
+                    f"@{function.name}: call to @{callee.name} which is "
+                    f"not in the module"
+                )
+
+
+def verify_module(module):
+    """Verify every function of a module."""
+    for function in module.functions.values():
+        verify_function(function, module)

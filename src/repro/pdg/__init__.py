@@ -1,0 +1,19 @@
+"""repro.pdg — the sequential Program Dependence Graph."""
+
+from repro.pdg.builder import build_pdg
+from repro.pdg.graph import (
+    EDGE_CONTROL,
+    EDGE_MEMORY,
+    EDGE_REGISTER,
+    PDG,
+    PDGEdge,
+)
+
+__all__ = [
+    "build_pdg",
+    "EDGE_CONTROL",
+    "EDGE_MEMORY",
+    "EDGE_REGISTER",
+    "PDG",
+    "PDGEdge",
+]

@@ -1,0 +1,156 @@
+"""The sequential Program Dependence Graph (Ferrante/Ottenstein/Warren).
+
+One node per IR instruction; edges carry control, register (SSA def-use),
+or memory dependences.  Memory edges record whether the dependence has a
+loop-independent component and the set of loops at which it is carried —
+the loop-level view the parallelization planner works from.
+"""
+
+import dataclasses
+
+EDGE_CONTROL = "control"
+EDGE_REGISTER = "register"
+EDGE_MEMORY = "memory"
+
+
+@dataclasses.dataclass
+class PDGEdge:
+    """A dependence from ``source`` to ``destination`` (instructions)."""
+
+    source: object
+    destination: object
+    kind: str  # control | register | memory
+    mem_kind: str = None  # RAW | WAR | WAW (memory edges only)
+    obj: object = None  # MemoryObject (memory edges only)
+    loop_independent: bool = True
+    carried_loops: tuple = ()
+
+    def is_loop_carried_at(self, loop):
+        return loop in self.carried_loops
+
+    def describe(self):
+        parts = [f"#{self.source.uid} -> #{self.destination.uid}", self.kind]
+        if self.mem_kind:
+            parts.append(self.mem_kind)
+        if self.obj is not None:
+            parts.append(getattr(self.obj, "display_name", repr(self.obj)))
+        if not self.loop_independent:
+            parts.append("carried-only")
+        if self.carried_loops:
+            names = ",".join(l.header.name for l in self.carried_loops)
+            parts.append(f"carried@[{names}]")
+        return " ".join(parts)
+
+
+class PDG:
+    """Dependence graph over the instructions of one function."""
+
+    def __init__(self, function):
+        self.function = function
+        self.nodes = list(function.instructions())
+        self.edges = []
+        self.loops = []  # filled by the builder (natural loops, outer first)
+        self._out = {inst: [] for inst in self.nodes}
+        self._in = {inst: [] for inst in self.nodes}
+
+    def add_edge(self, edge):
+        self.edges.append(edge)
+        self._out[edge.source].append(edge)
+        self._in[edge.destination].append(edge)
+        return edge
+
+    def out_edges(self, inst):
+        return list(self._out[inst])
+
+    def in_edges(self, inst):
+        return list(self._in[inst])
+
+    def edges_between(self, source, destination):
+        return [
+            e for e in self._out[source] if e.destination is destination
+        ]
+
+    def edge_count(self):
+        return len(self.edges)
+
+    def memory_edges(self):
+        return [e for e in self.edges if e.kind == EDGE_MEMORY]
+
+    def statistics(self):
+        """Summary counts, used by construction benchmarks and tests."""
+        by_kind = {}
+        carried = 0
+        for edge in self.edges:
+            by_kind[edge.kind] = by_kind.get(edge.kind, 0) + 1
+            if edge.carried_loops:
+                carried += 1
+        return {
+            "nodes": len(self.nodes),
+            "edges": len(self.edges),
+            "carried_edges": carried,
+            **{f"{kind}_edges": count for kind, count in by_kind.items()},
+        }
+
+    # -- loop-level views -----------------------------------------------------
+
+    def loop_nodes(self, loop):
+        return [inst for inst in self.nodes if loop.contains_instruction(inst)]
+
+    def loop_edges(self, loop, include_carried_at=None):
+        """Edges internal to ``loop``.
+
+        ``include_carried_at``: if given, keep carried edges only when they
+        are carried at that loop (plus all loop-independent edges); if
+        None, keep everything internal.
+        """
+        selected = []
+        for edge in self.edges:
+            if not (
+                loop.contains_instruction(edge.source)
+                and loop.contains_instruction(edge.destination)
+            ):
+                continue
+            if include_carried_at is None:
+                selected.append(edge)
+                continue
+            if edge.loop_independent or edge.is_loop_carried_at(
+                include_carried_at
+            ):
+                selected.append(edge)
+        return selected
+
+    def loop_adjacency(self, loop):
+        """node -> successor nodes, restricted to edges relevant at ``loop``.
+
+        Relevant edges: loop-independent edges plus edges carried at
+        ``loop`` (carried at inner loops only matters when planning those
+        inner loops).
+        """
+        nodes = self.loop_nodes(loop)
+        node_set = set(nodes)
+        adjacency = {inst: [] for inst in nodes}
+        for edge in self.loop_edges(loop, include_carried_at=loop):
+            if edge.source in node_set and edge.destination in node_set:
+                adjacency[edge.source].append(edge.destination)
+        return nodes, adjacency
+
+    def to_dot(self, name="pdg"):
+        """GraphViz rendering (debugging/docs)."""
+        lines = [f"digraph {name} {{"]
+        for inst in self.nodes:
+            label = inst.describe().replace('"', "'")
+            lines.append(f'  n{inst.uid} [label="{label}"];')
+        styles = {
+            EDGE_CONTROL: "dashed",
+            EDGE_REGISTER: "solid",
+            EDGE_MEMORY: "bold",
+        }
+        for edge in self.edges:
+            style = styles[edge.kind]
+            color = "red" if edge.carried_loops else "black"
+            lines.append(
+                f"  n{edge.source.uid} -> n{edge.destination.uid} "
+                f'[style={style}, color={color}];'
+            )
+        lines.append("}")
+        return "\n".join(lines)

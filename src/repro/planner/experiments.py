@@ -1,0 +1,133 @@
+"""End-to-end experiment drivers for the paper's evaluation (§6).
+
+``prepare_benchmark`` runs the whole pipeline once for a workload module
+(profile -> PDG -> PS-PDG -> views); ``fig13_options`` and
+``fig14_critical_paths`` then regenerate the two result figures for that
+workload.
+"""
+
+import dataclasses
+
+from repro.analysis.alias import AliasAnalysis
+from repro.analysis.loops import find_natural_loops
+from repro.core.builder import PSPDGBuilder
+from repro.emulator.interp import Interpreter
+from repro.emulator.profile import Profiler
+from repro.planner.critical_path import CriticalPathEvaluator
+from repro.planner.machine import DEFAULT_MACHINE
+from repro.planner.options import count_options
+from repro.planner.plans import abstraction_plan, openmp_source_plan
+from repro.planner.views import JKView, PDGView, PSPDGView
+
+
+@dataclasses.dataclass
+class BenchmarkSetup:
+    """Everything the experiments need about one workload."""
+
+    name: str
+    module: object
+    function: object
+    profile: object
+    execution: object  # ExecutionResult
+    pdg: object
+    pspdg: object
+    loops: list
+    views: dict  # abstraction name -> DependenceView
+
+
+def prepare_benchmark(name, module, function_name="main"):
+    """Profile the workload and build every abstraction's view of it."""
+    interpreter = Interpreter(module)
+    execution = interpreter.run(function_name, profiler=Profiler(function_name))
+    function = module.function(function_name)
+
+    alias = AliasAnalysis(module)
+    builder = PSPDGBuilder(function, module, alias)
+    pspdg = builder.build()
+    pdg = builder.pdg
+    loops = find_natural_loops(function)
+
+    views = {
+        "PDG": PDGView(function, module, pdg, alias),
+        "J&K": JKView(function, module, pdg, pspdg, alias),
+        "PS-PDG": PSPDGView(function, module, pdg, pspdg, alias),
+    }
+    return BenchmarkSetup(
+        name=name,
+        module=module,
+        function=function,
+        profile=execution.profile,
+        execution=execution,
+        pdg=pdg,
+        pspdg=pspdg,
+        loops=loops,
+        views=views,
+    )
+
+
+def fig13_options(setup, machine=DEFAULT_MACHINE, min_coverage=0.01):
+    """Fig. 13: parallelization options per abstraction for one benchmark."""
+    return count_options(
+        setup.name,
+        setup.function,
+        setup.loops,
+        setup.profile,
+        setup.views,
+        machine,
+        min_coverage,
+    )
+
+
+def fig14_critical_paths(setup):
+    """Fig. 14: critical path per abstraction plus reduction over OpenMP.
+
+    Returns ``{abstraction: {"critical_path": int, "speedup": float}}``
+    including the sequential execution and the OpenMP source plan.
+    """
+    profile = setup.profile
+
+    def evaluator_factory(plan):
+        return CriticalPathEvaluator(profile, plan)
+
+    results = {}
+    sequential_cp = profile.total()
+    results["Sequential"] = {"critical_path": sequential_cp, "speedup": None}
+
+    openmp_plan = openmp_source_plan(setup.function)
+    openmp_cp = CriticalPathEvaluator(profile, openmp_plan).evaluate()
+    results["OpenMP"] = {
+        "critical_path": openmp_cp,
+        "speedup": 1.0,
+        "plan": openmp_plan,
+    }
+
+    hierarchy = {"PDG": False, "J&K": True, "PS-PDG": True}
+    all_loops = {"PDG": False, "J&K": False, "PS-PDG": True}
+    for name, view in setup.views.items():
+        plan = abstraction_plan(
+            name,
+            setup.function,
+            view,
+            profile,
+            hierarchical_inner=hierarchy[name],
+            evaluator_factory=evaluator_factory,
+            plan_all_loops=all_loops[name],
+        )
+        cp = CriticalPathEvaluator(profile, plan).evaluate()
+        results[name] = {
+            "critical_path": cp,
+            "speedup": openmp_cp / cp if cp else float("inf"),
+            "plan": plan,
+        }
+    return results
+
+
+def format_fig13_row(report):
+    """One printable row per abstraction (matches the figure's bars)."""
+    order = ["OpenMP", "PDG", "J&K", "PS-PDG"]
+    return {name: report.totals.get(name, 0) for name in order}
+
+
+def format_fig14_row(results):
+    order = ["PDG", "J&K", "PS-PDG"]
+    return {name: results[name]["speedup"] for name in order}

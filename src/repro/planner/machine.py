@@ -1,0 +1,23 @@
+"""Machine model used by the option enumeration (paper §6.2).
+
+The paper enumerates options "for a 56 core machine" with "8 chunk sizes
+considered" for DOALL.  The model is a plain value object so experiments
+can sweep it.
+"""
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class MachineModel:
+    """Core count and the DOALL chunk sizes a plan may choose from."""
+
+    cores: int = 56
+    chunk_sizes: tuple = (1, 2, 4, 8, 16, 32, 64, 128)
+
+    @property
+    def chunk_choices(self):
+        return len(self.chunk_sizes)
+
+
+DEFAULT_MACHINE = MachineModel()

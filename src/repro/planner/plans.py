@@ -1,0 +1,178 @@
+"""Parallelization plans: which loops run how.
+
+A :class:`LoopPlan` fixes the technique for one static loop (DOALL, HELIX,
+DSWP, or sequential) together with the uid partitions the critical-path
+model needs: lock-serialized (orderless) work, sequential-segment work, and
+DSWP stage groups.  A :class:`ProgramPlan` maps loop headers to plans;
+unlisted loops run sequentially.
+"""
+
+import dataclasses
+
+from repro.analysis.loops import find_natural_loops
+from repro.frontend.directives import LOOP_INDEPENDENCE_KINDS
+from repro.planner.classify import classify_loop
+
+TECH_SEQ = "SEQ"
+TECH_DOALL = "DOALL"
+TECH_HELIX = "HELIX"
+TECH_DSWP = "DSWP"
+
+
+@dataclasses.dataclass
+class LoopPlan:
+    """Technique + work partitions for one loop."""
+
+    technique: str
+    serialized_uids: frozenset = frozenset()  # orderless mutual exclusion
+    sequential_uids: frozenset = frozenset()  # HELIX sequential segments
+    stage_groups: tuple = ()  # DSWP stages (uid frozensets)
+
+
+@dataclasses.dataclass
+class ProgramPlan:
+    """A full plan for one profiled function."""
+
+    name: str
+    loop_plans: dict  # header name -> LoopPlan
+    loop_uids: dict  # header name -> frozenset of uids inside the loop
+
+    def plan_for(self, header_name):
+        return self.loop_plans.get(header_name)
+
+    def with_loop_plan(self, header_name, loop_plan):
+        plans = dict(self.loop_plans)
+        plans[header_name] = loop_plan
+        return ProgramPlan(self.name, plans, self.loop_uids)
+
+    def describe(self):
+        lines = [f"plan {self.name}:"]
+        for header in sorted(self.loop_plans):
+            plan = self.loop_plans[header]
+            lines.append(f"  {header}: {plan.technique}")
+        return "\n".join(lines)
+
+
+def loop_uid_map(function):
+    """header name -> frozenset of instruction uids inside that loop."""
+    mapping = {}
+    for loop in find_natural_loops(function):
+        mapping[loop.header.name] = frozenset(
+            inst.uid for inst in loop.instructions()
+        )
+    return mapping
+
+
+def region_uids(function, kinds):
+    """uids of instructions inside directive regions of the given kinds."""
+    block_names = set()
+    for annotation in function.annotations:
+        if annotation.directive.kind in kinds:
+            block_names.update(annotation.block_names)
+    uids = set()
+    for block in function.blocks:
+        if block.name in block_names:
+            uids.update(inst.uid for inst in block.instructions)
+    return frozenset(uids)
+
+
+def openmp_source_plan(function):
+    """The plan the programmer encoded (paper: the baseline of Fig. 14).
+
+    Worksharing-annotated loops run as DOALL with their critical/atomic/
+    ordered work serialized across iterations; everything else runs
+    sequentially (redundant `parallel`-region execution costs the same as
+    one copy on the ideal machine, which the sequential profile already
+    reflects).
+    """
+    sync_uids = region_uids(function, {"critical", "atomic", "ordered"})
+    loop_plans = {}
+    uid_map = loop_uid_map(function)
+    for annotation in function.annotations:
+        if (
+            annotation.directive.kind in LOOP_INDEPENDENCE_KINDS
+            and annotation.loop_header is not None
+        ):
+            loop_uids = uid_map.get(annotation.loop_header, frozenset())
+            loop_plans[annotation.loop_header] = LoopPlan(
+                TECH_DOALL, serialized_uids=sync_uids & loop_uids
+            )
+    return ProgramPlan("OpenMP", loop_plans, uid_map)
+
+
+def technique_plan(classification, technique):
+    """A :class:`LoopPlan` realizing ``technique`` for a classified loop."""
+    if technique == TECH_DOALL:
+        return LoopPlan(
+            TECH_DOALL, serialized_uids=classification.serialized_uids
+        )
+    if technique == TECH_HELIX:
+        return LoopPlan(
+            TECH_HELIX,
+            serialized_uids=classification.serialized_uids,
+            sequential_uids=classification.sequential_uids(),
+        )
+    if technique == TECH_DSWP:
+        return LoopPlan(
+            TECH_DSWP,
+            stage_groups=tuple(scc.uids for scc in classification.sccs),
+        )
+    return LoopPlan(TECH_SEQ)
+
+
+def candidate_techniques(classification):
+    """Techniques the paper's methodology considers for a classified loop."""
+    if classification.doall_legal:
+        return [TECH_DOALL]
+    techniques = [TECH_SEQ, TECH_HELIX]
+    if len(classification.sccs) >= 2:
+        techniques.append(TECH_DSWP)
+    return techniques
+
+
+def abstraction_plan(
+    name,
+    function,
+    view,
+    profile,
+    hierarchical_inner,
+    evaluator_factory,
+    plan_all_loops=False,
+):
+    """Best plan available to one abstraction (paper §6.3 methodology).
+
+    Every *outermost* loop is parallelized with the technique (among those
+    the view's SCCs permit) that minimizes the ideal-machine critical
+    path.  With ``hierarchical_inner`` (J&K and PS-PDG), inner
+    developer-annotated loops additionally run their source plan.  With
+    ``plan_all_loops`` (PS-PDG only), *every* loop — annotated or not —
+    is considered, innermost first: "the compiler is able to consider all
+    loops which meet the parallelization requirements while the
+    programmer-encoded parallelization is static" (§6.2).
+    """
+    uid_map = loop_uid_map(function)
+    base_plans = {}
+    if hierarchical_inner:
+        source = openmp_source_plan(function)
+        base_plans.update(source.loop_plans)
+
+    plan = ProgramPlan(name, base_plans, uid_map)
+    loops = find_natural_loops(function)
+    if plan_all_loops:
+        # Innermost-first so outer-loop decisions see inner parallelism.
+        candidates = sorted(loops, key=lambda lp: -lp.depth)
+    else:
+        candidates = [loop for loop in loops if loop.parent is None]
+    for loop in candidates:
+        classification = classify_loop(view, loop)
+        best = None
+        for technique in candidate_techniques(classification):
+            trial = plan.with_loop_plan(
+                loop.header.name, technique_plan(classification, technique)
+            )
+            cost = evaluator_factory(trial).evaluate()
+            if best is None or cost < best[0]:
+                best = (cost, technique, trial)
+        if best is not None:
+            plan = best[2]
+    return plan

@@ -1,0 +1,19 @@
+"""repro.runtime — deterministic simulated-parallel execution of plans."""
+
+from repro.runtime.executor import (
+    LoopParallelization,
+    ParallelInterpreter,
+    parallelization_from_annotation,
+    parallelization_from_pspdg,
+    run_parallel,
+    run_source_plan,
+)
+
+__all__ = [
+    "LoopParallelization",
+    "ParallelInterpreter",
+    "parallelization_from_annotation",
+    "parallelization_from_pspdg",
+    "run_parallel",
+    "run_source_plan",
+]

@@ -1,0 +1,506 @@
+"""Simulated parallel runtime: execute DOALL plans on virtual threads.
+
+The paper's evaluation characterizes plans analytically; this module goes
+one step further and *runs* them, so the repository can test that a plan
+chosen via the PS-PDG is semantics-preserving.  It is a deterministic
+simulation of a multicore: a planned DOALL loop's iterations are chunked
+over W virtual workers whose instruction streams are interleaved by a
+seeded scheduler, with
+
+* per-worker private copies of the induction variable and every variable
+  the parallelization privatizes,
+* reduction variables initialized to the operator identity per worker and
+  merged (in worker order, deterministically) at the join,
+* firstprivate copies seeded from the shared value, lastprivate written
+  back by the worker that executed the final iteration,
+* locks for critical/atomic regions (same-name criticals share a lock),
+
+so data races that a *wrong* plan would introduce show up as real
+nondeterminism across scheduler seeds, while correct plans produce exactly
+the sequential result (modulo floating-point reduction reassociation).
+"""
+
+import dataclasses
+import random
+
+from repro.analysis.deptests import loop_iv_range
+from repro.analysis.loops import find_natural_loops
+from repro.analysis.reductions import REDUCIBLE_OPS
+from repro.emulator.interp import Interpreter, _Frame
+from repro.ir.instructions import Terminator
+from repro.ir.types import FLOAT
+from repro.ir.values import GlobalVariable
+from repro.util.errors import EmulationError, PlanError
+
+_IDENTITY = {
+    "add": 0,
+    "mul": 1,
+    "min": float("inf"),
+    "max": float("-inf"),
+    "and": -1,
+    "or": 0,
+    "xor": 0,
+}
+
+
+@dataclasses.dataclass
+class LoopParallelization:
+    """Execution recipe for one DOALL loop.
+
+    Attributes:
+        header: loop header block name.
+        privatized: list of storages (Alloca/GlobalVariable) given fresh
+            per-worker copies.
+        firstprivate: storages copied from the shared value per worker.
+        lastprivate: storages whose final-iteration private value is
+            written back at the join.
+        reductions: list of (storage, op-name) merged at the join.
+        chunk: static chunk size (iterations per contiguous chunk).
+    """
+
+    header: str
+    privatized: list = dataclasses.field(default_factory=list)
+    firstprivate: list = dataclasses.field(default_factory=list)
+    lastprivate: list = dataclasses.field(default_factory=list)
+    reductions: list = dataclasses.field(default_factory=list)
+    chunk: int = 1
+
+
+def parallelization_from_annotation(annotation, function):
+    """Build a :class:`LoopParallelization` from a worksharing annotation."""
+    clauses = annotation.directive.clauses
+    recipe = LoopParallelization(header=annotation.loop_header)
+    for name in clauses.private:
+        recipe.privatized.append(annotation.binding(name))
+    for name in clauses.firstprivate:
+        recipe.firstprivate.append(annotation.binding(name))
+    for name in clauses.lastprivate:
+        recipe.lastprivate.append(annotation.binding(name))
+    for op, name in clauses.reductions:
+        from repro.frontend.directives import REDUCTION_OPS
+
+        recipe.reductions.append((annotation.binding(name), REDUCTION_OPS[op]))
+    if clauses.schedule and clauses.schedule[1]:
+        recipe.chunk = clauses.schedule[1]
+    return recipe
+
+
+def parallelization_from_pspdg(pspdg, loop):
+    """Build an execution recipe from the PS-PDG's variables for a loop.
+
+    Privatizable variables in the loop's context get private copies;
+    reducible ones get identity-initialized copies merged at the join.
+    """
+    from repro.core.builder import loop_context_label
+    from repro.frontend.directives import REDUCTION_OPS
+
+    label = loop_context_label(loop.header.name)
+    chain = set(pspdg.context_chain(label))
+    # Worksharing annotations on this loop contribute their uid contexts.
+    for annotation in pspdg.function.annotations:
+        if annotation.loop_header == loop.header.name:
+            chain.add(annotation.uid)
+
+    recipe = LoopParallelization(header=loop.header.name)
+    for variable in pspdg.variables:
+        if variable.context not in chain:
+            continue
+        if variable.is_reducible():
+            recipe.reductions.append(
+                (variable.storage, REDUCTION_OPS.get(
+                    variable.reducer_op, variable.reducer_op
+                ))
+            )
+        else:
+            recipe.privatized.append(variable.storage)
+    return recipe
+
+
+class _Worker:
+    """One virtual thread executing a chunk of the iteration space."""
+
+    __slots__ = (
+        "index",
+        "iterations",
+        "cursor",
+        "frame",
+        "block",
+        "position",
+        "done",
+        "waiting_for",
+        "held",
+        "last_value",
+    )
+
+    def __init__(self, index, iterations, frame):
+        self.index = index
+        self.iterations = iterations
+        self.cursor = 0
+        self.frame = frame
+        self.block = None
+        self.position = 0
+        self.done = not iterations
+        self.waiting_for = None  # lock name when blocked
+        self.held = set()
+        self.last_value = None
+
+
+class ParallelInterpreter(Interpreter):
+    """Interpreter that executes selected loops on simulated workers."""
+
+    def __init__(self, module, parallelizations, workers=4, seed=0,
+                 max_steps=50_000_000):
+        super().__init__(module, max_steps)
+        self.workers = workers
+        self.seed = seed
+        self._recipes = {p.header: p for p in parallelizations}
+        self._locks = {}  # lock key -> worker index or None
+        self._loops_by_function = {}
+
+    # -- loop takeover ---------------------------------------------------------
+
+    def _maybe_run_parallel_loop(self, next_block, from_block, frame):
+        recipe = self._recipes.get(next_block.name)
+        if recipe is None:
+            return None
+        loop = self._find_loop(frame.function, next_block.name)
+        if loop is None or loop.canonical is None:
+            raise PlanError(
+                f"parallel loop {next_block.name} lacks canonical form"
+            )
+        if from_block in loop.blocks:
+            return None  # back edge: loop already running (shouldn't occur)
+        self._execute_parallel_loop(loop, recipe, frame)
+        return frame.function.block(loop.canonical.exit)
+
+    def _find_loop(self, function, header_name):
+        if function.name not in self._loops_by_function:
+            self._loops_by_function[function.name] = {
+                loop.header.name: loop
+                for loop in find_natural_loops(function)
+            }
+        return self._loops_by_function[function.name].get(header_name)
+
+    # -- the parallel region ------------------------------------------------------
+
+    def _execute_parallel_loop(self, loop, recipe, frame):
+        canonical = loop.canonical
+        lower = self._value(canonical.lower, frame)
+        upper = self._value(canonical.upper, frame)
+        step = self._value(canonical.step, frame)
+        if step <= 0:
+            raise PlanError("parallel loops require a positive step")
+        values = list(range(lower, upper, step))
+
+        chunks = [
+            values[i : i + recipe.chunk]
+            for i in range(0, len(values), recipe.chunk)
+        ]
+        assignment = [[] for _ in range(self.workers)]
+        for chunk_index, chunk in enumerate(chunks):
+            assignment[chunk_index % self.workers].extend(chunk)
+
+        workers = []
+        for index in range(self.workers):
+            worker_frame = self._make_worker_frame(frame, recipe, loop)
+            workers.append(_Worker(index, assignment[index], worker_frame))
+
+        self._run_workers(workers, loop, frame)
+        self._join(workers, recipe, frame, values)
+
+    def _make_worker_frame(self, frame, recipe, loop):
+        worker_frame = _Frame(frame.function, frame.args)
+        worker_frame.registers = dict(frame.registers)
+        worker_frame.objects = frame.objects  # shared by default
+        worker_frame.global_overlay = dict(frame.global_overlay)
+
+        # Private copies (fresh, firstprivate-seeded, or identity-seeded).
+        private_objects = {}
+        storage_remap = {}  # id(shared list) -> private list
+
+        def privatize(storage, seed_values):
+            private = list(seed_values)
+            if isinstance(storage, GlobalVariable):
+                shared = frame.global_overlay.get(
+                    storage.name
+                ) or self._global_storage[storage.name]
+                worker_frame.global_overlay[storage.name] = private
+            else:
+                shared = frame.objects.get(storage)
+                private_objects[storage] = private
+            if shared is not None:
+                storage_remap[id(shared)] = private
+
+        induction = loop.canonical.induction
+        privatize(induction, [0])
+        for storage in recipe.privatized:
+            privatize(storage, self._zeros_for(storage))
+        for storage in recipe.firstprivate:
+            privatize(storage, self._current_values(storage, frame))
+        for storage in recipe.lastprivate:
+            privatize(storage, self._zeros_for(storage))
+        for storage, op in recipe.reductions:
+            identity = self._identity_values(storage, op)
+            privatize(storage, identity)
+
+        if private_objects:
+            # Copy-on-write object table: private entries shadow shared.
+            shared = frame.objects
+            table = dict(shared)
+            table.update(private_objects)
+            worker_frame.objects = table
+
+        # Pointers already materialized in registers (alloca results, geps
+        # computed before the loop) still point at the *shared* storage;
+        # re-aim them at the private copies.
+        for key, value in worker_frame.registers.items():
+            if (
+                isinstance(value, tuple)
+                and len(value) == 2
+                and id(value[0]) in storage_remap
+            ):
+                worker_frame.registers[key] = (
+                    storage_remap[id(value[0])],
+                    value[1],
+                )
+        return worker_frame
+
+    def _zeros_for(self, storage):
+        if isinstance(storage, GlobalVariable):
+            return self._zero_storage(storage.value_type)
+        return self._zero_storage(storage.allocated_type)
+
+    def _current_values(self, storage, frame):
+        if isinstance(storage, GlobalVariable):
+            return list(frame.global_overlay.get(storage.name)
+                        or self._global_storage[storage.name])
+        if storage in frame.objects:
+            return list(frame.objects[storage])
+        return self._zeros_for(storage)
+
+    def _identity_values(self, storage, op):
+        if op not in _IDENTITY:
+            raise PlanError(f"no identity for reduction op {op!r}")
+        identity = _IDENTITY[op]
+        value_type = (
+            storage.value_type
+            if isinstance(storage, GlobalVariable)
+            else storage.allocated_type
+        )
+        scalar = value_type
+        while hasattr(scalar, "element"):
+            scalar = scalar.element
+        if scalar == FLOAT and op in ("add", "mul"):
+            identity = float(identity)
+        return [identity] * value_type.slots()
+
+    # -- scheduling -----------------------------------------------------------
+
+    def _run_workers(self, workers, loop, frame):
+        rng = random.Random(self.seed)
+        self._critical_regions = self._critical_region_map(frame.function)
+        runnable = [w for w in workers if not w.done]
+        for worker in runnable:
+            self._start_next_iteration(worker, loop)
+        while True:
+            candidates = [
+                w
+                for w in workers
+                if not w.done and self._can_run(w)
+            ]
+            if not candidates:
+                if any(not w.done for w in workers):
+                    raise EmulationError(
+                        "parallel deadlock: all remaining workers blocked"
+                    )
+                return
+            worker = rng.choice(candidates)
+            self._step_worker(worker, loop)
+
+    def _can_run(self, worker):
+        if worker.waiting_for is None:
+            return True
+        holder = self._locks.get(worker.waiting_for)
+        return holder is None or holder == worker.index
+
+    def _start_next_iteration(self, worker, loop):
+        if worker.cursor >= len(worker.iterations):
+            worker.done = True
+            self._release_all(worker)
+            return
+        value = worker.iterations[worker.cursor]
+        worker.cursor += 1
+        worker.last_value = value
+        induction = loop.canonical.induction
+        worker.frame.objects[induction] = worker.frame.objects.get(
+            induction, [0]
+        )
+        # Ensure the induction storage is private (set in _make_worker_frame).
+        worker.frame.objects[induction][0] = value
+        worker.block = loop.header.parent.block(loop.canonical.body)
+        worker.position = 0
+
+    def _step_worker(self, worker, loop):
+        # Honor pending lock acquisition.
+        if worker.waiting_for is not None:
+            lock = worker.waiting_for
+            holder = self._locks.get(lock)
+            if holder is None:
+                self._locks[lock] = worker.index
+                worker.held.add(lock)
+                worker.waiting_for = None
+            elif holder != worker.index:
+                return
+            else:
+                worker.waiting_for = None
+
+        block = worker.block
+        if worker.position >= len(block.instructions):
+            raise EmulationError(f"worker fell off block {block.name}")
+        inst = block.instructions[worker.position]
+        self.steps += 1
+        if self.steps > self.max_steps:
+            raise EmulationError("parallel execution exceeded max_steps")
+
+        if isinstance(inst, Terminator):
+            if inst.opcode == "return":
+                raise EmulationError(
+                    "return inside a parallelized loop body"
+                )
+            next_block = self._branch_target(inst, worker.frame)
+            if next_block is loop.header:
+                # Iteration finished (came around from the latch).
+                self._release_all(worker)
+                self._start_next_iteration(worker, loop)
+                return
+            self._update_locks(worker, block, next_block)
+            worker.block = next_block
+            worker.position = 0
+            return
+
+        self._execute(inst, worker.frame)
+        worker.position += 1
+
+    # -- critical sections ----------------------------------------------------
+
+    def _critical_region_map(self, function):
+        """block name -> (lock key, region block set) for critical/atomic."""
+        mapping = {}
+        for annotation in function.annotations:
+            if annotation.directive.kind not in ("critical", "atomic"):
+                continue
+            name = annotation.directive.clauses.critical_name
+            key = f"critical:{name}" if name else f"anon:{annotation.uid}"
+            if annotation.directive.kind == "critical" and name is None:
+                key = "critical:<anonymous>"
+            if annotation.directive.kind == "atomic":
+                key = f"atomic:{annotation.uid}"
+            blocks = set(annotation.block_names)
+            for block_name in blocks:
+                mapping[block_name] = (key, blocks)
+        return mapping
+
+    def _update_locks(self, worker, from_block, to_block):
+        from_region = self._critical_regions.get(from_block.name)
+        to_region = self._critical_regions.get(to_block.name)
+        if from_region and (
+            to_region is None or to_region[0] != from_region[0]
+        ):
+            self._release(worker, from_region[0])
+        if to_region and to_region[0] not in worker.held:
+            holder = self._locks.get(to_region[0])
+            if holder is None:
+                self._locks[to_region[0]] = worker.index
+                worker.held.add(to_region[0])
+            else:
+                worker.waiting_for = to_region[0]
+
+    def _release(self, worker, lock):
+        if lock in worker.held:
+            worker.held.discard(lock)
+            if self._locks.get(lock) == worker.index:
+                self._locks[lock] = None
+
+    def _release_all(self, worker):
+        for lock in list(worker.held):
+            self._release(worker, lock)
+
+    # -- join -------------------------------------------------------------------
+
+    def _join(self, workers, recipe, frame, values):
+        last_value = values[-1] if values else None
+        for storage, op in recipe.reductions:
+            shared = self._shared_storage(storage, frame)
+            for worker in workers:
+                private = self._private_storage(worker, storage)
+                for slot in range(len(shared)):
+                    shared[slot] = self._merge(op, shared[slot], private[slot])
+        for storage in recipe.lastprivate:
+            owner = None
+            for worker in workers:
+                if worker.iterations and worker.iterations[-1] == last_value:
+                    owner = worker
+            if owner is not None:
+                shared = self._shared_storage(storage, frame)
+                private = self._private_storage(owner, storage)
+                shared[:] = private
+
+    def _shared_storage(self, storage, frame):
+        if isinstance(storage, GlobalVariable):
+            return (
+                frame.global_overlay.get(storage.name)
+                or self._global_storage[storage.name]
+            )
+        return frame.objects[storage]
+
+    def _private_storage(self, worker, storage):
+        if isinstance(storage, GlobalVariable):
+            return worker.frame.global_overlay[storage.name]
+        return worker.frame.objects[storage]
+
+    @staticmethod
+    def _merge(op, a, b):
+        if op == "add":
+            return a + b
+        if op == "mul":
+            return a * b
+        if op == "min":
+            return min(a, b)
+        if op == "max":
+            return max(a, b)
+        if op == "and":
+            return a & b
+        if op == "or":
+            return a | b
+        if op == "xor":
+            return a ^ b
+        raise PlanError(f"unknown reduction op {op!r}")
+
+
+def run_parallel(
+    module,
+    parallelizations,
+    function_name="main",
+    workers=4,
+    seed=0,
+):
+    """Execute ``function_name`` with the given loop parallelizations."""
+    interpreter = ParallelInterpreter(
+        module, parallelizations, workers=workers, seed=seed
+    )
+    return interpreter.run(function_name)
+
+
+def run_source_plan(module, function_name="main", workers=4, seed=0):
+    """Execute the developer's OpenMP plan (all worksharing annotations)."""
+    function = module.function(function_name)
+    recipes = []
+    for annotation in function.annotations:
+        if (
+            annotation.directive.declares_loop_independence()
+            and annotation.loop_header is not None
+        ):
+            recipes.append(
+                parallelization_from_annotation(annotation, function)
+            )
+    return run_parallel(module, recipes, function_name, workers, seed)

@@ -1,0 +1,21 @@
+"""Small shared utilities used across the repro packages."""
+
+from repro.util.errors import (
+    IRError,
+    FrontendError,
+    AnalysisError,
+    PlanError,
+    VerificationError,
+)
+from repro.util.ids import IdAllocator
+from repro.util.orderedset import OrderedSet
+
+__all__ = [
+    "IRError",
+    "FrontendError",
+    "AnalysisError",
+    "PlanError",
+    "VerificationError",
+    "IdAllocator",
+    "OrderedSet",
+]

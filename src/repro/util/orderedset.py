@@ -1,0 +1,78 @@
+"""An insertion-ordered set.
+
+Compiler data structures (worklists, block sets, node sets) need set
+semantics *and* deterministic iteration order; plain ``set`` iteration order
+depends on hash seeds.  ``OrderedSet`` is a thin wrapper over ``dict`` (which
+preserves insertion order) exposing the small set API the library uses.
+"""
+
+
+class OrderedSet:
+    """A set that iterates in insertion order.
+
+    >>> s = OrderedSet([3, 1, 2, 1])
+    >>> list(s)
+    [3, 1, 2]
+    >>> s.add(1); s.add(4); list(s)
+    [3, 1, 2, 4]
+    """
+
+    def __init__(self, items=()):
+        self._items = dict.fromkeys(items)
+
+    def add(self, item):
+        self._items[item] = None
+
+    def discard(self, item):
+        self._items.pop(item, None)
+
+    def remove(self, item):
+        del self._items[item]
+
+    def pop_first(self):
+        """Remove and return the oldest item (FIFO worklist behaviour)."""
+        item = next(iter(self._items))
+        del self._items[item]
+        return item
+
+    def update(self, items):
+        for item in items:
+            self.add(item)
+
+    def __contains__(self, item):
+        return item in self._items
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __len__(self):
+        return len(self._items)
+
+    def __bool__(self):
+        return bool(self._items)
+
+    def __eq__(self, other):
+        if isinstance(other, OrderedSet):
+            return set(self._items) == set(other._items)
+        if isinstance(other, (set, frozenset)):
+            return set(self._items) == other
+        return NotImplemented
+
+    def __hash__(self):
+        return hash(frozenset(self._items))
+
+    def __repr__(self):
+        return f"OrderedSet({list(self._items)!r})"
+
+    def union(self, other):
+        result = OrderedSet(self)
+        result.update(other)
+        return result
+
+    def intersection(self, other):
+        other = set(other)
+        return OrderedSet(item for item in self if item in other)
+
+    def difference(self, other):
+        other = set(other)
+        return OrderedSet(item for item in self if item not in other)

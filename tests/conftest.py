@@ -1,0 +1,41 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import pytest
+
+from repro.frontend import compile_source
+
+
+@pytest.fixture
+def compile_():
+    """Compile MiniOMP source to a verified module."""
+    return compile_source
+
+
+def compile_main(source):
+    """Compile and return (module, main function)."""
+    module = compile_source(source)
+    return module, module.function("main")
+
+
+SIMPLE_LOOP = """
+func main() {
+  var s: int = 0;
+  for i in 0..10 {
+    s = s + i;
+  }
+  print(s);
+}
+"""
+
+AFFINE_ARRAY_LOOP = """
+global a: int[16];
+global b: int[16];
+
+func main() {
+  for i in 0..16 {
+    a[i] = i * 2;
+    b[i] = a[i] + 1;
+  }
+  print(b[7]);
+}
+"""

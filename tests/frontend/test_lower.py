@@ -1,0 +1,147 @@
+"""Lowering: AST -> annotated IR."""
+
+import pytest
+
+from repro.analysis import find_natural_loops
+from repro.frontend import compile_source
+from repro.ir import verify_module
+from repro.util.errors import FrontendError
+
+
+class TestStructure:
+    def test_module_verifies(self):
+        module = compile_source(
+            "func main() { var x: int = 1; print(x); }"
+        )
+        verify_module(module)
+
+    def test_for_records_canonical_loop(self):
+        module = compile_source("func main() { for i in 2..9 step 3 { } }")
+        function = module.function("main")
+        assert len(function.loop_info) == 1
+        loop = next(iter(function.loop_info.values()))
+        assert loop.lower.value == 2
+        assert loop.upper.value == 9
+        assert loop.step.value == 3
+
+    def test_natural_loop_matches_canonical(self):
+        module = compile_source(
+            "func main() { for i in 0..4 { for j in 0..4 { } } }"
+        )
+        loops = find_natural_loops(module.function("main"))
+        assert len(loops) == 2
+        assert all(loop.canonical is not None for loop in loops)
+        inner = [loop for loop in loops if loop.parent is not None]
+        assert len(inner) == 1
+
+    def test_unreachable_code_after_return_is_sealed(self):
+        module = compile_source(
+            "func f() -> int { return 1; print(2); }\nfunc main() { }"
+        )
+        verify_module(module)
+
+    def test_if_without_else(self):
+        module = compile_source(
+            "func main() { var x: int = 1; if (x > 0) { x = 2; } print(x); }"
+        )
+        verify_module(module)
+
+
+class TestAnnotations:
+    def test_region_blocks_are_sese(self):
+        module = compile_source(
+            "func main() {\n"
+            "  pragma omp parallel\n"
+            "  { var x: int = 1; print(x); }\n"
+            "}"
+        )
+        function = module.function("main")
+        (annotation,) = function.annotations
+        assert annotation.directive.kind == "parallel"
+        names = {b.name for b in function.blocks}
+        assert set(annotation.block_names) <= names
+
+    def test_nested_regions_record_parents(self):
+        module = compile_source(
+            "func main() {\n"
+            "  pragma omp parallel\n"
+            "  {\n"
+            "    pragma omp for\n"
+            "    for i in 0..4 { }\n"
+            "  }\n"
+            "}"
+        )
+        annotations = {
+            a.directive.kind: a for a in module.function("main").annotations
+        }
+        assert annotations["for"].parent_uid == annotations["parallel"].uid
+
+    def test_loop_header_recorded_for_worksharing(self):
+        module = compile_source(
+            "func main() { pragma omp for\nfor i in 0..4 { } }"
+        )
+        (annotation,) = module.function("main").annotations
+        assert annotation.loop_header is not None
+        assert annotation.loop_header in module.function("main").loop_info
+
+    def test_clause_bindings_resolved(self):
+        module = compile_source(
+            "func main() {\n"
+            "  var s: int = 0;\n"
+            "  pragma omp for reduction(+: s)\n"
+            "  for i in 0..4 { s = s + i; }\n"
+            "  print(s);\n"
+            "}"
+        )
+        (annotation,) = module.function("main").annotations
+        binding = annotation.binding("s")
+        assert binding.var_name == "s"
+
+    def test_threadprivate_in_module_metadata(self):
+        module = compile_source(
+            "global t: int;\npragma omp threadprivate(t)\nfunc main() { }"
+        )
+        assert module.metadata["threadprivate"] == {"t"}
+
+    def test_nested_pragma_region_containment(self):
+        module = compile_source(
+            "func main() {\n"
+            "  pragma omp parallel\n"
+            "  pragma omp for\n"
+            "  for i in 0..4 { }\n"
+            "}"
+        )
+        annotations = module.function("main").annotations
+        by_kind = {a.directive.kind: a for a in annotations}
+        assert set(by_kind["for"].block_names) < set(
+            by_kind["parallel"].block_names
+        )
+
+
+class TestTypesAndCoercions:
+    def test_int_to_float_promotion(self):
+        module = compile_source(
+            "func main() { var x: float = 1 + 2.5; print(x); }"
+        )
+        verify_module(module)
+
+    def test_bool_condition_required(self):
+        with pytest.raises(FrontendError):
+            compile_source("func main() { if (1) { } }")
+
+    def test_array_to_scalar_assignment_rejected(self):
+        with pytest.raises(FrontendError):
+            compile_source(
+                "func main() { var a: int[3]; var x: int = 0; x = a; }"
+            )
+
+    def test_string_outside_print_rejected(self):
+        with pytest.raises(FrontendError):
+            compile_source('func main() { var x: int = "no"; }')
+
+    def test_array_argument_passed_by_reference(self):
+        module = compile_source(
+            "func fill(a: int[4]) { a[0] = 7; }\n"
+            "func main() { var a: int[4]; fill(a); print(a[0]); }"
+        )
+        verify_module(module)

@@ -1,0 +1,203 @@
+"""MiniOMP parser: AST shapes and pragma parsing."""
+
+import pytest
+
+from repro.frontend import ast, parse_source
+from repro.util.errors import FrontendError
+
+
+def parse_main_body(body):
+    program = parse_source("func main() {\n" + body + "\n}")
+    return program.functions[0].body.statements
+
+
+class TestDeclarations:
+    def test_global_with_array_type(self):
+        program = parse_source("global a: int[4][5];")
+        decl = program.globals[0]
+        assert decl.name == "a"
+        assert decl.type.base == "int"
+        assert decl.type.dims == [4, 5]
+
+    def test_function_signature(self):
+        program = parse_source(
+            "func f(x: int, a: float[3]) -> float { return 1.0; }"
+        )
+        func = program.functions[0]
+        assert [p.name for p in func.params] == ["x", "a"]
+        assert func.return_type.base == "float"
+
+    def test_default_return_type_is_void(self):
+        program = parse_source("func f() { }")
+        assert program.functions[0].return_type.base == "void"
+
+    def test_threadprivate_pragma_marks_global(self):
+        program = parse_source(
+            "global t: int[8];\npragma omp threadprivate(t)\nfunc main() { }"
+        )
+        assert program.globals[0].threadprivate
+
+    def test_threadprivate_for_unknown_global_rejected(self):
+        with pytest.raises(FrontendError):
+            parse_source("pragma omp threadprivate(nope)\nfunc main() { }")
+
+
+class TestStatements:
+    def test_for_with_step(self):
+        (stmt,) = parse_main_body("for i in 0..10 step 2 { }")
+        assert isinstance(stmt, ast.For)
+        assert stmt.var == "i"
+        assert isinstance(stmt.step, ast.IntLit)
+
+    def test_else_if_chains(self):
+        (stmt,) = parse_main_body(
+            "if (1 < 2) { } else if (2 < 3) { } else { }"
+        )
+        assert isinstance(stmt, ast.If)
+        nested = stmt.else_body.statements[0]
+        assert isinstance(nested, ast.If)
+        assert nested.else_body is not None
+
+    def test_while(self):
+        (stmt,) = parse_main_body("while (true) { }")
+        assert isinstance(stmt, ast.While)
+
+    def test_assignment_to_element(self):
+        decl, assign = parse_main_body("var a: int[3];\na[1] = 5;")
+        assert isinstance(assign, ast.Assign)
+        assert isinstance(assign.target, ast.Index)
+
+    def test_call_statement(self):
+        program = parse_source(
+            "func g() { }\nfunc main() { g(); }"
+        )
+        stmt = program.functions[1].body.statements[0]
+        assert isinstance(stmt, ast.ExprStmt)
+
+    def test_assignment_to_call_rejected(self):
+        with pytest.raises(FrontendError):
+            parse_main_body("f() = 3;")
+
+    def test_print_with_label(self):
+        (stmt,) = parse_main_body('print("x =", 1, 2);')
+        assert isinstance(stmt, ast.PrintStmt)
+        assert len(stmt.args) == 3
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        (stmt,) = parse_main_body("var x: int = 1 + 2 * 3;")
+        expr = stmt.init
+        assert isinstance(expr, ast.BinExpr) and expr.op == "+"
+        assert isinstance(expr.rhs, ast.BinExpr) and expr.rhs.op == "*"
+
+    def test_parentheses_override(self):
+        (stmt,) = parse_main_body("var x: int = (1 + 2) * 3;")
+        expr = stmt.init
+        assert expr.op == "*"
+
+    def test_logical_precedence(self):
+        (stmt,) = parse_main_body("var x: bool = 1 < 2 && 3 < 4 || false;")
+        expr = stmt.init
+        assert expr.op == "||"
+        assert expr.lhs.op == "&&"
+
+    def test_unary_chains(self):
+        (stmt,) = parse_main_body("var x: int = - - 3;")
+        assert isinstance(stmt.init, ast.UnExpr)
+        assert isinstance(stmt.init.operand, ast.UnExpr)
+
+    def test_index_chains(self):
+        decl, stmt = parse_main_body(
+            "var a: int[2][2];\nvar x: int = a[0][1];"
+        )
+        index = stmt.init
+        assert isinstance(index, ast.Index)
+        assert isinstance(index.base, ast.Index)
+
+    def test_cast_syntax(self):
+        (stmt,) = parse_main_body("var x: int = int(3.5);")
+        assert isinstance(stmt.init, ast.CallExpr)
+        assert stmt.init.name == "int"
+
+
+class TestPragmas:
+    def test_parallel_for_merges_to_one_kind(self):
+        (stmt,) = parse_main_body("pragma omp parallel for\nfor i in 0..4 { }")
+        assert stmt.pragmas[0].kind == "parallel_for"
+
+    def test_reduction_clause_parsed(self):
+        body = parse_main_body(
+            "var s: int = 0;\npragma omp for reduction(+: s) private(s)\n"
+            "for i in 0..4 { }"
+        )
+        directive = body[1].pragmas[0]
+        assert directive.clauses.reductions == [("+", "s")]
+        assert directive.clauses.private == ["s"]
+
+    def test_schedule_clause(self):
+        body = parse_main_body(
+            "pragma omp for schedule(static, 8)\nfor i in 0..4 { }"
+        )
+        assert body[0].pragmas[0].clauses.schedule == ("static", 8)
+
+    def test_named_critical(self):
+        body = parse_main_body(
+            "pragma omp critical(lockname)\n{ }"
+        )
+        assert body[0].pragmas[0].clauses.critical_name == "lockname"
+
+    def test_barrier_is_standalone(self):
+        body = parse_main_body("pragma omp barrier\nvar x: int = 1;")
+        assert isinstance(body[0], ast.StandaloneDirective)
+        assert body[0].directive.kind == "barrier"
+        assert isinstance(body[1], ast.VarDecl)
+
+    def test_stacked_pragmas(self):
+        body = parse_main_body(
+            "pragma omp parallel\npragma omp for\nfor i in 0..4 { }"
+        )
+        kinds = [p.kind for p in body[0].pragmas]
+        assert kinds == ["parallel", "for"]
+
+    def test_depend_clause(self):
+        body = parse_main_body(
+            "var x: int = 0;\npragma omp task depend(out: x)\n{ }"
+        )
+        assert body[1].pragmas[0].clauses.depends == [("out", "x")]
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(FrontendError):
+            parse_main_body("pragma omp frobnicate\n{ }")
+
+    def test_unknown_reduction_op_rejected(self):
+        with pytest.raises(FrontendError):
+            parse_main_body(
+                "var s: int = 0;\npragma omp for reduction(@: s)\n"
+                "for i in 0..4 { }"
+            )
+
+
+class TestCilk:
+    def test_spawn_statement(self):
+        program = parse_source(
+            "func w(x: int) -> int { return x; }\n"
+            "func main() { var r: int = 0; spawn r = w(1); sync; }"
+        )
+        body = program.functions[1].body.statements
+        assert isinstance(body[1], ast.SpawnStmt)
+        assert body[1].call.name == "w"
+        assert isinstance(body[2], ast.StandaloneDirective)
+        assert body[2].directive.kind == "cilk_sync"
+
+    def test_cilk_for_attaches_directive(self):
+        (stmt,) = parse_main_body("cilk_for i in 0..4 { }")
+        assert stmt.pragmas[0].kind == "cilk_for"
+
+    def test_reducer_declaration(self):
+        (stmt,) = parse_main_body("var s: int reducer(+) = 0;")
+        assert stmt.reducer_op == "+"
+
+    def test_cilk_scope(self):
+        (stmt,) = parse_main_body("cilk_scope { var x: int = 1; }")
+        assert stmt.pragmas[0].kind == "cilk_scope"

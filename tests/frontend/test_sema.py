@@ -1,0 +1,103 @@
+"""Semantic checks: names, scopes, pragma placement."""
+
+import pytest
+
+from repro.frontend import check_program, parse_source
+from repro.util.errors import FrontendError
+
+
+def check(source):
+    return check_program(parse_source(source))
+
+
+class TestNames:
+    def test_undeclared_variable_rejected(self):
+        with pytest.raises(FrontendError):
+            check("func main() { x = 1; }")
+
+    def test_duplicate_local_rejected(self):
+        with pytest.raises(FrontendError):
+            check("func main() { var x: int = 1; var x: int = 2; }")
+
+    def test_shadowing_in_inner_scope_allowed(self):
+        check(
+            "func main() { var x: int = 1; if (x > 0) { var x: int = 2; } }"
+        )
+
+    def test_duplicate_global_rejected(self):
+        with pytest.raises(FrontendError):
+            check("global g: int;\nglobal g: float;")
+
+    def test_duplicate_function_rejected(self):
+        with pytest.raises(FrontendError):
+            check("func f() { }\nfunc f() { }")
+
+    def test_builtin_shadowing_rejected(self):
+        with pytest.raises(FrontendError):
+            check("func sqrt() { }")
+
+    def test_loop_variable_scoped_to_loop(self):
+        with pytest.raises(FrontendError):
+            check("func main() { for i in 0..4 { } print(i); }")
+
+    def test_globals_visible_in_functions(self):
+        check("global g: int;\nfunc main() { g = 3; }")
+
+
+class TestCalls:
+    def test_undeclared_function_rejected(self):
+        with pytest.raises(FrontendError):
+            check("func main() { nope(); }")
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(FrontendError):
+            check("func f(x: int) { }\nfunc main() { f(); }")
+
+    def test_forward_references_allowed(self):
+        check("func main() { later(); }\nfunc later() { }")
+
+
+class TestReturns:
+    def test_void_function_returning_value_rejected(self):
+        with pytest.raises(FrontendError):
+            check("func f() { return 3; }")
+
+    def test_nonvoid_function_returning_nothing_rejected(self):
+        with pytest.raises(FrontendError):
+            check("func f() -> int { return; }")
+
+
+class TestPragmaPlacement:
+    def test_worksharing_requires_for(self):
+        with pytest.raises(FrontendError):
+            check("func main() { pragma omp for\nvar x: int = 1; }")
+
+    def test_clause_variable_must_be_declared(self):
+        with pytest.raises(FrontendError):
+            check(
+                "func main() { pragma omp for private(ghost)\n"
+                "for i in 0..4 { } }"
+            )
+
+    def test_loop_variable_usable_in_clause(self):
+        check(
+            "func main() { pragma omp for lastprivate(i)\n"
+            "for i in 0..4 { } }"
+        )
+
+    def test_anyvalue_requires_scalar(self):
+        with pytest.raises(FrontendError):
+            check(
+                "func main() { var a: int[3];\n"
+                "pragma omp for anyvalue(a)\nfor i in 0..4 { } }"
+            )
+
+    def test_array_global_initializer_rejected(self):
+        with pytest.raises(FrontendError):
+            check("global a: int[3] = 1;")
+
+    def test_threadprivate_recorded(self):
+        info = check(
+            "global t: int;\npragma omp threadprivate(t)\nfunc main() { }"
+        )
+        assert info.threadprivate == {"t"}

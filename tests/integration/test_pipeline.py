@@ -1,0 +1,106 @@
+"""End-to-end pipeline tests: source -> IR -> PDG -> PS-PDG -> plan -> run."""
+
+from repro.core import build_pspdg
+from repro.emulator import run_module
+from repro.frontend import compile_source
+from repro.ir import print_module, verify_module
+from repro.pdg import build_pdg
+from repro.planner import (
+    fig13_options,
+    fig14_critical_paths,
+    prepare_benchmark,
+)
+from repro.runtime import run_source_plan
+
+PROGRAM = """
+global data: int[96];
+global buckets: int[12];
+
+func classify(value: int) -> int {
+  return (value * 7 + 3) % 12;
+}
+
+func main() {
+  for s in 0..96 {
+    data[s] = (s * 31 + 17) % 101;
+  }
+  var total: int = 0;
+  pragma omp parallel
+  {
+    pragma omp for
+    for i in 0..96 {
+      var b: int = classify(data[i]);
+      pragma omp critical
+      { buckets[b] = buckets[b] + 1; }
+    }
+    pragma omp for reduction(+: total)
+    for j in 0..12 {
+      total = total + buckets[j] * buckets[j];
+    }
+  }
+  print("total", total);
+}
+"""
+
+
+def test_full_pipeline_produces_consistent_artifacts():
+    module = compile_source(PROGRAM)
+    verify_module(module)
+    function = module.function("main")
+
+    pdg = build_pdg(function, module)
+    assert pdg.edge_count() > 0
+
+    pspdg = build_pspdg(function, module)
+    stats = pspdg.statistics()
+    assert stats["undirected_edges"] >= 1  # the critical
+    assert stats["reducible"] == 1  # total
+    assert stats["relaxations"] > 0
+
+    result = run_module(module)
+    assert result.formatted_output()
+
+
+def test_pretty_printer_covers_annotations():
+    module = compile_source(PROGRAM)
+    text = print_module(module)
+    assert "omp for" in text
+    assert "omp critical" in text
+    assert "loop for.header" in text
+
+
+def test_experiments_agree_with_runtime_validation():
+    module = compile_source(PROGRAM)
+    setup = prepare_benchmark("integration", module)
+
+    report = fig13_options(setup)
+    assert report.totals["PS-PDG"] >= report.totals["OpenMP"]
+
+    results = fig14_critical_paths(setup)
+    assert results["PS-PDG"]["speedup"] >= 1.0
+
+    # The source plan executes correctly on the simulated machine.
+    sequential = run_module(compile_source(PROGRAM)).formatted_output()
+    for seed in (0, 3):
+        parallel = run_source_plan(
+            compile_source(PROGRAM), workers=4, seed=seed
+        )
+        assert parallel.formatted_output() == sequential
+
+
+def test_plans_are_reported_with_techniques():
+    module = compile_source(PROGRAM)
+    setup = prepare_benchmark("integration", module)
+    results = fig14_critical_paths(setup)
+    plan = results["PS-PDG"]["plan"]
+    description = plan.describe()
+    assert "plan PS-PDG" in description
+    techniques = {lp.technique for lp in plan.loop_plans.values()}
+    assert techniques <= {"DOALL", "HELIX", "DSWP", "SEQ"}
+
+
+def test_interpreter_profile_feeds_planner():
+    module = compile_source(PROGRAM)
+    setup = prepare_benchmark("integration", module)
+    assert setup.profile.total() == setup.execution.steps
+    assert setup.profile.loop_instances()

@@ -1,0 +1,72 @@
+"""Sequential PDG construction."""
+
+from repro.frontend import compile_source
+from repro.pdg import EDGE_CONTROL, EDGE_MEMORY, EDGE_REGISTER, build_pdg
+
+
+def pdg_for(source):
+    module = compile_source(source)
+    function = module.function("main")
+    return build_pdg(function, module)
+
+
+def test_every_instruction_is_a_node():
+    pdg = pdg_for("func main() { var x: int = 1; print(x); }")
+    assert len(pdg.nodes) == pdg.function.instruction_count()
+
+
+def test_register_edges_follow_operands():
+    pdg = pdg_for("func main() { var x: int = 1; print(x + 2); }")
+    register_edges = [e for e in pdg.edges if e.kind == EDGE_REGISTER]
+    assert register_edges
+    for edge in register_edges:
+        assert edge.source in edge.destination.operands
+
+
+def test_control_edges_source_from_branches():
+    pdg = pdg_for(
+        "func main() { var x: int = 1; if (x > 0) { print(1); } }"
+    )
+    control_edges = [e for e in pdg.edges if e.kind == EDGE_CONTROL]
+    assert control_edges
+    assert all(e.source.opcode == "branch" for e in control_edges)
+
+
+def test_memory_edges_have_objects_and_kinds():
+    pdg = pdg_for(
+        "global a: int[4];\nfunc main() { a[0] = 1; print(a[0]); }"
+    )
+    memory_edges = [e for e in pdg.edges if e.kind == EDGE_MEMORY]
+    assert any(e.mem_kind == "RAW" for e in memory_edges)
+    assert all(e.obj is not None for e in memory_edges)
+
+
+def test_statistics_shape():
+    pdg = pdg_for("func main() { var s: int = 0;\n"
+                  "for i in 0..3 { s = s + i; } print(s); }")
+    stats = pdg.statistics()
+    assert stats["nodes"] == len(pdg.nodes)
+    assert stats["edges"] == len(pdg.edges)
+    assert stats["carried_edges"] > 0
+
+
+def test_loop_adjacency_restricted_to_loop():
+    pdg = pdg_for("func main() { var s: int = 0;\n"
+                  "for i in 0..3 { s = s + i; } print(s); }")
+    loop = pdg.loops[0]
+    nodes, adjacency = pdg.loop_adjacency(loop)
+    node_set = set(nodes)
+    for src, dsts in adjacency.items():
+        assert src in node_set
+        assert all(d in node_set for d in dsts)
+
+
+def test_loops_attached_to_pdg():
+    pdg = pdg_for("func main() { for i in 0..3 { } }")
+    assert len(pdg.loops) == 1
+
+
+def test_dot_export_renders():
+    pdg = pdg_for("func main() { var x: int = 1; print(x); }")
+    dot = pdg.to_dot()
+    assert dot.startswith("digraph") and dot.endswith("}")

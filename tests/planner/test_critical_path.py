@@ -1,0 +1,161 @@
+"""Ideal-machine critical path under explicit plans."""
+
+from repro.frontend import compile_source
+from repro.planner import (
+    CriticalPathEvaluator,
+    LoopPlan,
+    ProgramPlan,
+    TECH_DOALL,
+    TECH_DSWP,
+    TECH_HELIX,
+    fig14_critical_paths,
+    loop_uid_map,
+    openmp_source_plan,
+    prepare_benchmark,
+)
+
+
+def profiled(source):
+    setup = prepare_benchmark("t", compile_source(source))
+    return setup
+
+
+def test_sequential_critical_path_is_total_work():
+    setup = profiled(
+        "global a: int[16];\nfunc main() { for i in 0..16 { a[i] = i; } }"
+    )
+    plan = ProgramPlan("seq", {}, loop_uid_map(setup.function))
+    cp = CriticalPathEvaluator(setup.profile, plan).evaluate()
+    assert cp == setup.profile.total()
+
+
+def test_doall_collapses_iterations_to_max():
+    setup = profiled(
+        "global a: int[16];\nfunc main() { for i in 0..16 { a[i] = i; } }"
+    )
+    uid_map = loop_uid_map(setup.function)
+    header = setup.loops[0].header.name
+    plan = ProgramPlan("p", {header: LoopPlan(TECH_DOALL)}, uid_map)
+    cp = CriticalPathEvaluator(setup.profile, plan).evaluate()
+    sequential = setup.profile.total()
+    assert cp < sequential / 4
+
+
+def test_doall_with_serialized_work_bounded_by_lock_sum():
+    setup = profiled(
+        "global h: int[4];\n"
+        "func main() {\n"
+        "  pragma omp parallel_for\n"
+        "  for i in 0..16 {\n"
+        "    pragma omp critical\n"
+        "    { h[i % 4] = h[i % 4] + 1; }\n"
+        "  }\n"
+        "}"
+    )
+    results = fig14_critical_paths(setup)
+    openmp_cp = results["OpenMP"]["critical_path"]
+    sequential = results["Sequential"]["critical_path"]
+    # Lock-serialized work keeps the plan well above max-iteration cost,
+    # but it still beats fully sequential execution.
+    assert openmp_cp < sequential
+    assert results["PS-PDG"]["critical_path"] <= openmp_cp
+
+
+def test_helix_charges_sequential_segments_per_iteration():
+    setup = profiled(
+        "global a: int[16];\n"
+        "func main() { var s: int = 0;\n"
+        "for i in 0..16 { s = s + a[i]; a[i] = i; } print(s); }"
+    )
+    uid_map = loop_uid_map(setup.function)
+    header = setup.loops[0].header.name
+    loop_uids = uid_map[header]
+    # Pretend half the loop is a sequential segment.
+    seq = frozenset(list(loop_uids)[: len(loop_uids) // 2])
+    plan = ProgramPlan(
+        "p", {header: LoopPlan(TECH_HELIX, sequential_uids=seq)}, uid_map
+    )
+    cp = CriticalPathEvaluator(setup.profile, plan).evaluate()
+    assert cp < setup.profile.total()
+    plan_all_seq = ProgramPlan(
+        "p2",
+        {header: LoopPlan(TECH_HELIX, sequential_uids=loop_uids)},
+        uid_map,
+    )
+    cp_all = CriticalPathEvaluator(setup.profile, plan_all_seq).evaluate()
+    assert cp <= cp_all
+
+
+def test_dswp_bounded_by_slowest_stage_plus_fill():
+    setup = profiled(
+        "global a: int[16];\nglobal b: int[16];\n"
+        "func main() { for i in 1..16 {\n"
+        "  a[i] = a[i - 1] + 1;\n"
+        "  b[i] = a[i] * 2;\n"
+        "} print(b[15]); }"
+    )
+    uid_map = loop_uid_map(setup.function)
+    header = setup.loops[0].header.name
+    uids = sorted(uid_map[header])
+    half = len(uids) // 2
+    plan = ProgramPlan(
+        "p",
+        {
+            header: LoopPlan(
+                TECH_DSWP,
+                stage_groups=(
+                    frozenset(uids[:half]),
+                    frozenset(uids[half:]),
+                ),
+            )
+        },
+        uid_map,
+    )
+    cp = CriticalPathEvaluator(setup.profile, plan).evaluate()
+    assert cp < setup.profile.total()
+
+
+def test_openmp_source_plan_uses_annotations():
+    setup = profiled(
+        "global a: int[16];\n"
+        "func main() { pragma omp parallel for\n"
+        "for i in 0..16 { a[i] = i; } }"
+    )
+    plan = openmp_source_plan(setup.function)
+    assert len(plan.loop_plans) == 1
+    (loop_plan,) = plan.loop_plans.values()
+    assert loop_plan.technique == TECH_DOALL
+
+
+def test_fig14_speedups_relative_to_openmp():
+    setup = profiled(
+        "global a: int[32];\nglobal k: int[32];\n"
+        "func main() {\n"
+        "  pragma omp parallel for\n"
+        "  for i in 0..32 { a[k[i]] = a[k[i]] + 1; }\n"
+        "}"
+    )
+    results = fig14_critical_paths(setup)
+    assert results["OpenMP"]["speedup"] == 1.0
+    # The PS-PDG never loses parallelism the programmer expressed.
+    assert results["PS-PDG"]["speedup"] >= 1.0
+    # The sequential PDG cannot prove the indirect update parallel.
+    assert results["PDG"]["speedup"] < 1.0
+
+
+def test_nested_parallelism_recursion():
+    setup = profiled(
+        "global a: int[64];\n"
+        "func main() {\n"
+        "  for t in 0..2 {\n"
+        "    pragma omp for\n"
+        "    for i in 0..64 { a[i] = a[i] + t; }\n"
+        "  }\n"
+        "}"
+    )
+    results = fig14_critical_paths(setup)
+    # J&K/PS-PDG exploit the inner developer loop under the sequential
+    # outer loop.
+    assert results["J&K"]["critical_path"] <= results["OpenMP"][
+        "critical_path"
+    ]

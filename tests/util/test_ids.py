@@ -1,0 +1,38 @@
+"""IdAllocator determinism."""
+
+from repro.util import IdAllocator
+
+
+def test_unprefixed_ids_are_integers():
+    ids = IdAllocator()
+    assert ids.fresh() == 0
+    assert ids.fresh() == 1
+
+
+def test_prefixed_ids_are_strings():
+    ids = IdAllocator("ctx")
+    assert ids.fresh() == "ctx0"
+    assert ids.fresh() == "ctx1"
+
+
+def test_peek_does_not_consume():
+    ids = IdAllocator("x")
+    assert ids.peek() == "x0"
+    assert ids.peek() == "x0"
+    assert ids.fresh() == "x0"
+    assert ids.peek() == "x1"
+
+
+def test_reset_restarts():
+    ids = IdAllocator("r")
+    ids.fresh()
+    ids.fresh()
+    ids.reset()
+    assert ids.fresh() == "r0"
+
+
+def test_independent_allocators_do_not_share_state():
+    a = IdAllocator("a")
+    b = IdAllocator("a")
+    assert a.fresh() == "a0"
+    assert b.fresh() == "a0"

@@ -1,0 +1,79 @@
+"""OrderedSet: set semantics with deterministic iteration order."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import OrderedSet
+
+
+class TestBasics:
+    def test_preserves_insertion_order(self):
+        s = OrderedSet([3, 1, 2])
+        assert list(s) == [3, 1, 2]
+
+    def test_deduplicates(self):
+        s = OrderedSet([1, 2, 1, 3, 2])
+        assert list(s) == [1, 2, 3]
+
+    def test_add_existing_keeps_position(self):
+        s = OrderedSet([1, 2, 3])
+        s.add(1)
+        assert list(s) == [1, 2, 3]
+
+    def test_membership(self):
+        s = OrderedSet([1, 2])
+        assert 1 in s
+        assert 5 not in s
+
+    def test_len_and_bool(self):
+        assert len(OrderedSet()) == 0
+        assert not OrderedSet()
+        assert OrderedSet([1])
+
+    def test_discard_missing_is_noop(self):
+        s = OrderedSet([1])
+        s.discard(42)
+        assert list(s) == [1]
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            OrderedSet([1]).remove(42)
+
+    def test_pop_first_is_fifo(self):
+        s = OrderedSet([5, 6, 7])
+        assert s.pop_first() == 5
+        assert s.pop_first() == 6
+        assert list(s) == [7]
+
+    def test_update(self):
+        s = OrderedSet([1])
+        s.update([2, 1, 3])
+        assert list(s) == [1, 2, 3]
+
+    def test_equality_with_set(self):
+        assert OrderedSet([1, 2]) == {2, 1}
+        assert OrderedSet([1, 2]) == OrderedSet([2, 1])
+
+    def test_union_intersection_difference(self):
+        a = OrderedSet([1, 2, 3])
+        b = OrderedSet([2, 3, 4])
+        assert list(a.union(b)) == [1, 2, 3, 4]
+        assert list(a.intersection(b)) == [2, 3]
+        assert list(a.difference(b)) == [1]
+
+
+class TestProperties:
+    @given(st.lists(st.integers()))
+    def test_matches_set_semantics(self, items):
+        ordered = OrderedSet(items)
+        assert set(ordered) == set(items)
+        assert len(ordered) == len(set(items))
+
+    @given(st.lists(st.integers(), unique=True))
+    def test_order_is_insertion_order_for_unique_items(self, items):
+        assert list(OrderedSet(items)) == items
+
+    @given(st.lists(st.integers()), st.lists(st.integers()))
+    def test_union_matches_set_union(self, a, b):
+        assert set(OrderedSet(a).union(OrderedSet(b))) == set(a) | set(b)
