@@ -11,9 +11,8 @@ criticals, or private arrays.
 
 import pytest
 
+from repro import Session
 from repro.analysis import subscripts
-from repro.planner import fig14_critical_paths, prepare_benchmark
-from repro.workloads import build_kernel
 
 
 @pytest.fixture
@@ -33,8 +32,9 @@ def test_gap_survives_conservative_analysis(
     name, conservative_subscripts, benchmark, capsys
 ):
     def run():
-        setup = prepare_benchmark(name, build_kernel(name))
-        return fig14_critical_paths(setup)
+        # A fresh session per run: the patched analysis must flow into
+        # the PDG build, so the shared cached sessions cannot be used.
+        return Session.from_kernel(name).critical_paths()
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     with capsys.disabled():

@@ -8,18 +8,16 @@ figure's qualitative shape; the printed rows are the series.
 
 import pytest
 
-from repro.planner import fig13_options, format_fig13_row
+from repro.planner import format_fig13_row
 from repro.workloads import kernel_names
 
 _ORDER = ["OpenMP", "PDG", "J&K", "PS-PDG"]
 
 
 @pytest.mark.parametrize("name", kernel_names())
-def test_fig13_rows(nas_setups, name, benchmark, capsys):
-    setup = nas_setups[name]
-    report = benchmark.pedantic(
-        fig13_options, args=(setup,), rounds=1, iterations=1
-    )
+def test_fig13_rows(nas_sessions, name, benchmark, capsys):
+    session = nas_sessions[name]
+    report = benchmark.pedantic(session.options, rounds=1, iterations=1)
     row = format_fig13_row(report)
     with capsys.disabled():
         cells = " ".join(f"{k}={row[k]:>6}" for k in _ORDER)

@@ -8,17 +8,17 @@ crossovers fall; the printed rows are the series.
 
 import pytest
 
-from repro.planner import fig14_critical_paths, format_fig14_row
+from repro.planner import format_fig14_row
 from repro.workloads import kernel_names
 
 _ORDER = ["PDG", "J&K", "PS-PDG"]
 
 
 @pytest.mark.parametrize("name", kernel_names())
-def test_fig14_rows(nas_setups, name, benchmark, capsys):
-    setup = nas_setups[name]
+def test_fig14_rows(nas_sessions, name, benchmark, capsys):
+    session = nas_sessions[name]
     results = benchmark.pedantic(
-        fig14_critical_paths, args=(setup,), rounds=1, iterations=1
+        session.critical_paths, rounds=1, iterations=1
     )
     row = format_fig14_row(results)
     with capsys.disabled():

@@ -3,12 +3,14 @@
 The paper fixes a 56-core machine with 8 chunk sizes; this sweep verifies
 the enumeration scales the way §6.2's formulas dictate (linearly in cores
 for DOALL/HELIX, capped stages for DSWP) and that the abstraction ordering
-(PS-PDG >= J&K >= PDG) is machine-independent.
+(PS-PDG >= J&K >= PDG) is machine-independent.  Each machine re-enumerates
+options against the *same* cached graphs — only the ``options`` stage of
+every session reruns.
 """
 
 import pytest
 
-from repro.planner import MachineModel, fig13_options
+from repro.planner import MachineModel
 from repro.workloads import kernel_names
 
 MACHINES = {
@@ -21,12 +23,12 @@ MACHINES = {
 
 
 @pytest.mark.parametrize("machine_name", list(MACHINES))
-def test_option_scaling(nas_setups, machine_name, benchmark, capsys):
+def test_option_scaling(nas_sessions, machine_name, benchmark, capsys):
     machine = MACHINES[machine_name]
 
     def sweep():
         return {
-            name: fig13_options(nas_setups[name], machine).totals
+            name: nas_sessions[name].options(machine).totals
             for name in kernel_names()
         }
 
@@ -42,13 +44,20 @@ def test_option_scaling(nas_setups, machine_name, benchmark, capsys):
         assert row["PS-PDG"] >= row["PDG"], (machine_name, name)
 
 
-def test_doall_options_linear_in_cores(nas_setups):
-    small = fig13_options(
-        nas_setups["EP"], MachineModel(cores=7, chunk_sizes=(1, 2))
-    ).totals
-    large = fig13_options(
-        nas_setups["EP"], MachineModel(cores=14, chunk_sizes=(1, 2))
-    ).totals
+def test_doall_options_linear_in_cores(nas_sessions):
+    ep = nas_sessions["EP"]
+    small = ep.options(MachineModel(cores=7, chunk_sizes=(1, 2))).totals
+    large = ep.options(MachineModel(cores=14, chunk_sizes=(1, 2))).totals
     # EP is one DOALL loop: options = cores x chunks exactly.
     assert small["PS-PDG"] == 14
     assert large["PS-PDG"] == 28
+
+
+def test_machine_sweep_reuses_graphs(nas_sessions):
+    """The sweep's whole point: no graph stage reruns across machines."""
+    session = nas_sessions["EP"]
+    session.options(MACHINES["8-core"])
+    session.options(MACHINES["192-core"])
+    assert session.diagnostics.runs("pspdg") == 1
+    assert session.diagnostics.runs("pdg") == 1
+    assert session.diagnostics.runs("profile") == 1

@@ -1,25 +1,25 @@
 """§6.1 — generating the PS-PDG for existing OpenMP benchmarks.
 
 The paper's first result is the pipeline itself: the PS-PDG is constructed
-for every NAS benchmark.  This bench measures construction time per kernel
-and prints the feature statistics of the resulting graphs (hierarchical
-nodes, contexts, traits, undirected edges, selectors, variables,
-relaxations).
+for every NAS benchmark.  This bench measures graph-construction time per
+kernel — alias + PDG + PS-PDG over a pre-compiled module, via a fresh
+session each round so nothing is cached — and prints the feature
+statistics of the resulting graphs (hierarchical nodes, contexts, traits,
+undirected edges, selectors, variables, relaxations).
 """
 
 import pytest
 
-from repro.core import PSPDGBuilder
+from repro import Session
 from repro.workloads import build_kernel, kernel_names
 
 
 @pytest.mark.parametrize("name", kernel_names())
 def test_pspdg_construction(name, benchmark, capsys):
-    module = build_kernel(name)
-    function = module.function("main")
+    module = build_kernel(name)  # frontend compile stays untimed
 
     def construct():
-        return PSPDGBuilder(function, module).build()
+        return Session.from_module(module, name=name).pspdg
 
     graph = benchmark.pedantic(construct, rounds=2, iterations=1)
     stats = graph.statistics()

@@ -1,15 +1,26 @@
-"""Shared session-scoped setups so each kernel is profiled once."""
+"""Shared session-scoped pipeline state so each kernel is built once.
+
+Every benchmark rides one :class:`repro.Session` per NAS kernel: the
+first query compiles, profiles, and builds the graphs; every later query
+(across all bench files in the run) hits the session cache.
+"""
 
 import pytest
 
-from repro.planner import prepare_benchmark
-from repro.workloads import build_kernel, kernel_names
+from repro import Session
+from repro.workloads import kernel_names
 
 
 @pytest.fixture(scope="session")
-def nas_setups():
-    """Profiled pipeline state for every NAS mini-kernel."""
+def nas_sessions():
+    """One lazily-materialized pipeline session per NAS mini-kernel."""
+    return {name: Session.from_kernel(name) for name in kernel_names()}
+
+
+@pytest.fixture(scope="session")
+def nas_setups(nas_sessions):
+    """The sessions' artifacts as typed :class:`BenchmarkSetup` snapshots."""
     return {
-        name: prepare_benchmark(name, build_kernel(name))
-        for name in kernel_names()
+        name: session.benchmark_setup()
+        for name, session in nas_sessions.items()
     }

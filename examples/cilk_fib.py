@@ -3,14 +3,13 @@
 Compiles a Cilk-style fibonacci (spawn/sync) and a cilk_for loop with a
 hyperobject reducer, shows the PS-PDG features each construct produces
 (spawn -> hierarchical SESE node, sync -> sync edges, hyperobject ->
-reducible parallel semantic variable), and runs both programs.
+reducible parallel semantic variable), and runs both programs — all
+through per-program :class:`repro.Session` objects.
 
 Run:  python examples/cilk_fib.py
 """
 
-from repro.core import build_pspdg
-from repro.emulator import run_module
-from repro.frontend import compile_source
+from repro import Session
 
 FIB = """
 func fib(n: int) -> int {
@@ -44,11 +43,10 @@ func main() {
 """
 
 
-def describe(module, function_name):
-    function = module.function(function_name)
-    graph = build_pspdg(function, module)
-    stats = graph.statistics()
-    print(f"  @{function_name}: {stats}")
+def describe(session):
+    graph = session.pspdg
+    function = session.function
+    print(f"  @{function.name}: {graph.statistics()}")
     for annotation in function.annotations:
         print(f"    {annotation.directive.describe()}")
     for variable in graph.variables:
@@ -60,16 +58,15 @@ def describe(module, function_name):
 
 def main():
     print("=== cilk_spawn / cilk_sync (fib) ===")
-    fib_module = compile_source(FIB, "cilk-fib")
-    describe(fib_module, "fib")
-    result = run_module(fib_module)
-    print(f"  output: {result.formatted_output()}\n")
+    fib = Session.from_source(FIB, name="cilk-fib", function_name="fib")
+    describe(fib)  # PS-PDG of @fib (spawn/sync edges)
+    fib.reconfigure(function_name="main")  # run the program entry point
+    print(f"  output: {fib.execution.formatted_output()}\n")
 
     print("=== cilk_for + hyperobject reducer ===")
-    reducer_module = compile_source(REDUCER, "cilk-reducer")
-    describe(reducer_module, "main")
-    result = run_module(reducer_module)
-    print(f"  output: {result.formatted_output()}")
+    reducer = Session.from_source(REDUCER, name="cilk-reducer")
+    describe(reducer)
+    print(f"  output: {reducer.execution.formatted_output()}")
 
 
 if __name__ == "__main__":

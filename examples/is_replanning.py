@@ -16,7 +16,7 @@ with it:
 Run:  python examples/is_replanning.py
 """
 
-from repro.planner import fig14_critical_paths, prepare_benchmark
+from repro import Session
 from repro.workloads.nas import is_
 
 
@@ -26,13 +26,12 @@ def main():
         print(f"    {line}")
     print()
 
-    module = is_.build_module()
-    setup = prepare_benchmark("IS", module)
-    print(f"sequential execution: {setup.execution.steps} dynamic instructions")
-    print(f"program output:       {setup.execution.formatted_output()}")
+    session = Session.from_kernel("IS")
+    print(f"sequential execution: {session.execution.steps} dynamic instructions")
+    print(f"program output:       {session.execution.formatted_output()}")
     print()
 
-    results = fig14_critical_paths(setup)
+    results = session.critical_paths()
     print("ideal-machine critical paths and plans:")
     for name in ("Sequential", "OpenMP", "PDG", "J&K", "PS-PDG"):
         entry = results[name]

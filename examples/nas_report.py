@@ -2,34 +2,31 @@
 
 Prints the two tables the paper's evaluation reports: parallelization
 options per abstraction (Fig. 13) and critical-path reduction over the
-OpenMP plan (Fig. 14).
+OpenMP plan (Fig. 14).  One :class:`repro.Session` per kernel carries
+the shared pipeline state; both figures reuse the same cached graphs.
 
 Run:  python examples/nas_report.py
 """
 
-from repro.planner import (
-    fig13_options,
-    fig14_critical_paths,
-    format_fig13_row,
-    format_fig14_row,
-    prepare_benchmark,
-)
-from repro.workloads import build_kernel, kernel_names
+from repro import Session
+from repro.planner import format_fig13_row, format_fig14_row
+from repro.workloads import kernel_names
 
 
 def main():
-    setups = {}
+    sessions = {}
     print("preparing kernels (compile + profile + PDG + PS-PDG)...")
     for name in kernel_names():
-        setups[name] = prepare_benchmark(name, build_kernel(name))
-        print(f"  {name}: {setups[name].execution.steps} dynamic instructions")
+        session = Session.from_kernel(name)
+        sessions[name] = session
+        print(f"  {name}: {session.execution.steps} dynamic instructions")
 
     print("\nFig. 13 — total parallelization options considered")
     header = f"{'bench':6} {'OpenMP':>8} {'PDG':>8} {'J&K':>8} {'PS-PDG':>8}"
     print(header)
     print("-" * len(header))
-    for name, setup in setups.items():
-        row = format_fig13_row(fig13_options(setup))
+    for name, session in sessions.items():
+        row = format_fig13_row(session.options())
         print(
             f"{name:6} {row['OpenMP']:>8} {row['PDG']:>8} "
             f"{row['J&K']:>8} {row['PS-PDG']:>8}"
@@ -39,12 +36,16 @@ def main():
     header = f"{'bench':6} {'PDG':>9} {'J&K':>9} {'PS-PDG':>9}"
     print(header)
     print("-" * len(header))
-    for name, setup in setups.items():
-        row = format_fig14_row(fig14_critical_paths(setup))
+    for name, session in sessions.items():
+        row = format_fig14_row(session.critical_paths())
         print(
             f"{name:6} {row['PDG']:>9.3f} {row['J&K']:>9.3f} "
             f"{row['PS-PDG']:>9.3f}"
         )
+
+    total = sum(s.diagnostics.total_seconds() for s in sessions.values())
+    print(f"\npipeline time across kernels: {total:.2f}s "
+          f"(every stage built exactly once per kernel)")
 
 
 if __name__ == "__main__":

@@ -1,22 +1,22 @@
-"""Quickstart: compile an OpenMP program, build its PS-PDG, plan, and run.
+"""Quickstart: source to a validated parallel plan through one Session.
 
-Walks the whole pipeline of the paper (Fig. 12) on a small histogram
-program: MiniOMP source -> annotated IR -> PDG -> PS-PDG -> parallelization
-options -> best plan by ideal-machine critical path -> validated execution
-on the simulated parallel runtime.
+The whole pipeline of the paper (Fig. 12) — MiniOMP source -> annotated
+IR -> PDG -> PS-PDG -> parallelization options -> best plan by
+ideal-machine critical path -> validated execution on the simulated
+parallel runtime — is four API calls on one :class:`repro.Session`::
+
+    s = Session.from_source(SOURCE, name="quickstart")
+    s.options()       # Fig. 13 enumeration
+    plan = s.plan()   # best PS-PDG plan (Fig. 14 machinery)
+    s.run(plan)       # simulated-parallel execution
+
+Each call materializes only the stages it needs; nothing runs twice
+(see the diagnostics table printed at the end).
 
 Run:  python examples/quickstart.py
 """
 
-from repro.emulator import run_module
-from repro.frontend import compile_source
-from repro.ir import print_module
-from repro.planner import (
-    fig13_options,
-    fig14_critical_paths,
-    prepare_benchmark,
-)
-from repro.runtime import run_source_plan
+from repro import Session
 
 SOURCE = """
 global data: int[128];
@@ -46,44 +46,41 @@ func main() {
 
 
 def main():
-    print("=== 1. Compile (MiniOMP -> annotated IR) ===")
-    module = compile_source(SOURCE, "quickstart")
-    text = print_module(module)
-    print("\n".join(text.splitlines()[:12]))
-    print(f"... ({len(text.splitlines())} lines total)\n")
+    session = Session.from_source(SOURCE, name="quickstart")
 
-    print("=== 2. Profile + build PDG and PS-PDG ===")
-    setup = prepare_benchmark("quickstart", module)
-    print(f"dynamic instructions: {setup.execution.steps}")
-    print(f"PDG:    {setup.pdg.statistics()}")
-    print(f"PS-PDG: {setup.pspdg.statistics()}\n")
-
-    print("=== 3. Parallelization options (Fig. 13 machinery) ===")
-    report = fig13_options(setup)
+    print("=== 1. Parallelization options (Fig. 13 machinery) ===")
+    report = session.options()  # compiles, profiles, builds both graphs
     for header, row in report.rows():
         print(f"  loop {header}: {row}")
     print(f"  totals: {report.totals}\n")
 
-    print("=== 4. Plan selection by critical path (Fig. 14 machinery) ===")
-    results = fig14_critical_paths(setup)
+    print("=== 2. Plan selection by critical path (Fig. 14 machinery) ===")
+    results = session.critical_paths()
     for name in ("Sequential", "OpenMP", "PDG", "J&K", "PS-PDG"):
         entry = results[name]
         speedup = entry["speedup"]
         suffix = f"  ({speedup:.2f}x vs OpenMP)" if speedup else ""
         print(f"  {name:10} critical path = {entry['critical_path']:>7}{suffix}")
+    plan = session.plan()  # the PS-PDG winner, straight from the cache
+    print(f"  chosen: {plan.describe()}\n")
+
+    print("=== 3. Validate plans on the simulated machine ===")
+    sequential = session.execution.formatted_output()
+    for label, chosen in (("source", None), ("PS-PDG", plan)):
+        for seed in (0, 1, 2):
+            parallel = session.run(chosen, workers=4, seed=seed)
+            outcome = (
+                "matches" if parallel.formatted_output() == sequential
+                else "MISMATCH"
+            )
+            print(
+                f"  {label:7} seed={seed}: "
+                f"{parallel.formatted_output()} ({outcome})"
+            )
     print()
 
-    print("=== 5. Validate the source plan on the simulated machine ===")
-    sequential = run_module(compile_source(SOURCE)).formatted_output()
-    for seed in (0, 1, 2):
-        parallel = run_source_plan(
-            compile_source(SOURCE), workers=4, seed=seed
-        )
-        outcome = (
-            "matches" if parallel.formatted_output() == sequential
-            else "MISMATCH"
-        )
-        print(f"  seed={seed}: {parallel.formatted_output()} ({outcome})")
+    print("=== 4. Where the time went (each stage ran exactly once) ===")
+    print(session.describe())
 
 
 if __name__ == "__main__":

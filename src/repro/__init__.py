@@ -19,29 +19,59 @@ The package implements the paper's full pipeline (Fig. 12):
 8. :mod:`repro.workloads` — mini NAS kernels and the Fig. 11 necessity
    gallery.
 
-Quick start::
+The whole pipeline is driven through :class:`repro.Session`, which
+materializes each stage lazily, exactly once, behind a content-hash
+keyed cache.  Quick start — source to chosen plan in four calls::
 
-    from repro.frontend import compile_source
-    from repro.planner import prepare_benchmark, fig13_options
+    from repro import Session
 
-    module = compile_source(source_text)
-    setup = prepare_benchmark("demo", module)
-    print(fig13_options(setup).totals)
+    s = Session.from_source(source_text, name="demo")
+    print(s.options().totals)          # Fig. 13 enumeration
+    plan = s.plan()                    # best PS-PDG plan (Fig. 14)
+    result = s.run(plan)               # validated parallel execution
+
+The same pipeline is scriptable from the shell::
+
+    python -m repro plan examples/histogram.mop
 """
+
+import warnings as _warnings
 
 from repro.core import build_pspdg
 from repro.emulator import run_module, run_source
-from repro.frontend import compile_source
 from repro.pdg import build_pdg
+from repro.pipeline import Diagnostics, PipelineCache, SessionConfig
 from repro.planner import (
     fig13_options,
     fig14_critical_paths,
     prepare_benchmark,
 )
+from repro.session import Session
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+
+def compile_source(source, module_name="miniomp"):
+    """Compile MiniOMP source text to a verified, annotated IR module.
+
+    .. deprecated:: use ``Session.from_source(source).module`` (cached)
+        or :func:`repro.frontend.compile_source` (direct).
+    """
+    _warnings.warn(
+        "repro.compile_source() is deprecated; use "
+        "repro.Session.from_source(...).module or "
+        "repro.frontend.compile_source()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return Session.from_source(source, name=module_name).module
+
 
 __all__ = [
+    "Session",
+    "SessionConfig",
+    "Diagnostics",
+    "PipelineCache",
     "build_pspdg",
     "build_pdg",
     "compile_source",

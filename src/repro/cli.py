@@ -1,0 +1,264 @@
+"""Command-line interface: the Session pipeline from the shell.
+
+Subcommands mirror the pipeline's stages::
+
+    python -m repro compile examples/histogram.mop --ir
+    python -m repro plan    examples/histogram.mop
+    python -m repro run     examples/histogram.mop --plan PS-PDG --verify
+    python -m repro report  examples/histogram.mop IS MG
+
+A program argument is either a path to a MiniOMP/Cilk source file or the
+name of a built-in NAS mini-kernel (``IS``, ``EP``, ``CG``, ``MG``,
+``FT``, ``BT``, ``SP``, ``LU``).  All subcommands share one
+:class:`repro.Session` per program, so e.g. ``report`` builds each graph
+exactly once for both figures.
+"""
+
+import argparse
+import pathlib
+import sys
+
+from repro.planner.machine import MachineModel
+from repro.session import Session
+from repro.util.errors import ReproError
+
+_ABSTRACTION_ORDER = ("Sequential", "OpenMP", "PDG", "J&K", "PS-PDG")
+
+
+def _kernel_names():
+    from repro.workloads import kernel_names
+
+    return kernel_names()
+
+
+def _build_session(program, args):
+    """A session for a source path or a NAS kernel name."""
+    overrides = {}
+    if getattr(args, "function", None):
+        overrides["function_name"] = args.function
+    if getattr(args, "cores", None):
+        chunk_sizes = MachineModel().chunk_sizes
+        if getattr(args, "chunk_sizes", None):
+            chunk_sizes = tuple(args.chunk_sizes)
+        overrides["machine"] = MachineModel(
+            cores=args.cores, chunk_sizes=chunk_sizes
+        )
+    if getattr(args, "workers", None):
+        overrides["workers"] = args.workers
+    if getattr(args, "seed", None) is not None:
+        overrides["seed"] = args.seed
+
+    path = pathlib.Path(program)
+    if path.exists():
+        return Session.from_source(
+            path.read_text(), name=path.stem, **overrides
+        )
+    if program in _kernel_names():
+        return Session.from_kernel(program, **overrides)
+    raise SystemExit(
+        f"error: {program!r} is neither a source file nor a NAS kernel "
+        f"(kernels: {', '.join(_kernel_names())})"
+    )
+
+
+# -- subcommands ---------------------------------------------------------------
+
+
+def _cmd_compile(args):
+    session = _build_session(args.program, args)
+    module = session.module
+    if args.ir:
+        from repro.ir.printer import print_module
+
+        print(print_module(module))
+    stats = session.diagnostics.stats("module")
+    print(
+        f"{session.config.name}: {stats.get('functions', '?')} functions, "
+        f"{stats.get('instructions', '?')} instructions",
+        file=sys.stderr if args.ir else sys.stdout,
+    )
+    if args.pspdg:
+        print(f"PS-PDG: {session.pspdg.statistics()}")
+    return 0
+
+
+def _cmd_plan(args):
+    session = _build_session(args.program, args)
+    results = session.critical_paths()
+    print(f"ideal-machine critical paths for {session.config.name!r}:")
+    for name in _ABSTRACTION_ORDER:
+        if name not in results:
+            continue
+        entry = results[name]
+        speedup = entry["speedup"]
+        ratio = f"{speedup:7.3f}x" if speedup else "   --   "
+        print(f"  {name:10} CP={entry['critical_path']:>9}  {ratio}")
+    plan = session.plan(args.abstraction)
+    print()
+    print(plan.describe())
+    if args.diagnostics:
+        print()
+        print(session.describe())
+    return 0
+
+
+def _cmd_run(args):
+    session = _build_session(args.program, args)
+    plan = None if args.plan in ("source", "OpenMP") else args.plan
+    result = session.run(plan, workers=args.workers, seed=args.seed)
+    for line in result.formatted_output():
+        print(line)
+    print(f"[{result.steps} dynamic instructions]", file=sys.stderr)
+    if args.verify:
+        expected = session.execution.formatted_output()
+        if result.formatted_output() == expected:
+            print("[verify] parallel output matches sequential",
+                  file=sys.stderr)
+        else:
+            print(
+                f"[verify] MISMATCH: sequential said {expected}",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+def _cmd_report(args):
+    programs = args.programs or list(_kernel_names())
+    sessions = [_build_session(program, args) for program in programs]
+
+    print("Fig. 13 — total parallelization options considered")
+    header = f"{'bench':8} {'OpenMP':>8} {'PDG':>8} {'J&K':>8} {'PS-PDG':>8}"
+    print(header)
+    print("-" * len(header))
+    for session in sessions:
+        totals = session.options().totals
+        print(
+            f"{session.config.name:8} {totals.get('OpenMP', 0):>8} "
+            f"{totals.get('PDG', 0):>8} {totals.get('J&K', 0):>8} "
+            f"{totals.get('PS-PDG', 0):>8}"
+        )
+
+    print()
+    print("Fig. 14 — critical-path reduction over OpenMP (ideal machine)")
+    header = f"{'bench':8} {'PDG':>9} {'J&K':>9} {'PS-PDG':>9}"
+    print(header)
+    print("-" * len(header))
+    for session in sessions:
+        results = session.critical_paths()
+        print(
+            f"{session.config.name:8} "
+            f"{results['PDG']['speedup']:>9.3f} "
+            f"{results['J&K']['speedup']:>9.3f} "
+            f"{results['PS-PDG']['speedup']:>9.3f}"
+        )
+
+    if args.diagnostics:
+        for session in sessions:
+            print()
+            print(session.describe())
+    return 0
+
+
+# -- argument parsing ----------------------------------------------------------
+
+
+def _add_machine_arguments(parser):
+    parser.add_argument(
+        "--cores", type=int, default=None,
+        help="machine-model core count (default: 56)",
+    )
+    parser.add_argument(
+        "--chunk-sizes", type=int, nargs="+", default=None,
+        dest="chunk_sizes", help="DOALL chunk sizes to consider",
+    )
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="PS-PDG pipeline: compile, plan, run, and report.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser(
+        "compile", help="compile source to annotated IR (and optionally dump it)"
+    )
+    p_compile.add_argument("program", help="source file or NAS kernel name")
+    p_compile.add_argument("--function", default=None)
+    p_compile.add_argument(
+        "--ir", action="store_true", help="print the IR module"
+    )
+    p_compile.add_argument(
+        "--pspdg", action="store_true", help="also build and summarize the PS-PDG"
+    )
+    p_compile.set_defaults(func=_cmd_compile)
+
+    p_plan = sub.add_parser(
+        "plan", help="select the best plan per abstraction (Fig. 14 machinery)"
+    )
+    p_plan.add_argument("program")
+    p_plan.add_argument("--function", default=None)
+    p_plan.add_argument(
+        "--abstraction", default="PS-PDG",
+        choices=("OpenMP", "PDG", "J&K", "PS-PDG"),
+        help="whose chosen plan to print (default: PS-PDG)",
+    )
+    p_plan.add_argument(
+        "--diagnostics", action="store_true",
+        help="print the per-stage time/stats table",
+    )
+    _add_machine_arguments(p_plan)
+    p_plan.set_defaults(func=_cmd_plan)
+
+    p_run = sub.add_parser(
+        "run", help="execute a plan on the simulated parallel machine"
+    )
+    p_run.add_argument("program")
+    p_run.add_argument("--function", default=None)
+    p_run.add_argument(
+        "--plan", default="source",
+        choices=("source", "OpenMP", "PDG", "J&K", "PS-PDG"),
+        help="which plan to execute (default: the developer's source plan)",
+    )
+    p_run.add_argument("--workers", type=int, default=4)
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument(
+        "--verify", action="store_true",
+        help="check the parallel output against the sequential run",
+    )
+    p_run.set_defaults(func=_cmd_run)
+
+    p_report = sub.add_parser(
+        "report", help="regenerate Fig. 13 + Fig. 14 tables"
+    )
+    p_report.add_argument(
+        "programs", nargs="*",
+        help="source files and/or kernel names (default: all NAS kernels)",
+    )
+    p_report.add_argument("--function", default=None)
+    p_report.add_argument("--diagnostics", action="store_true")
+    _add_machine_arguments(p_report)
+    p_report.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -67,11 +67,13 @@ def loop_context_label(header_name):
 class PSPDGBuilder:
     """Builds the PS-PDG of one annotated function."""
 
-    def __init__(self, function, module, alias=None):
+    def __init__(self, function, module, alias=None, pdg=None):
         self.function = function
         self.module = module
         self.alias = alias if alias is not None else AliasAnalysis(module)
-        self.pdg = build_pdg(function, module, self.alias)
+        self.pdg = (
+            pdg if pdg is not None else build_pdg(function, module, self.alias)
+        )
         self.graph = PSPDG(function)
         self.graph.loops = self.pdg.loops
         self._block_of = {}

@@ -1,0 +1,71 @@
+"""Session configuration: every pipeline knob in one frozen value object.
+
+Before the :class:`~repro.session.Session` API these settings were
+scattered positional arguments (``function_name`` on
+``prepare_benchmark``, ``machine``/``min_coverage`` on ``fig13_options``,
+per-abstraction planning behavior hardcoded inside
+``fig14_critical_paths``).  The config is hashable and participates in
+the cache key, so two sessions that differ only in configuration never
+share stale artifacts.
+"""
+
+import dataclasses
+
+from repro.planner.machine import DEFAULT_MACHINE, MachineModel
+
+#: Dependence abstractions the evaluation compares (paper §6.2).
+ALL_ABSTRACTIONS = ("PDG", "J&K", "PS-PDG")
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class SessionConfig:
+    """Immutable pipeline configuration for one :class:`repro.Session`.
+
+    Attributes:
+        name: benchmark/session label used in reports and plan names.
+        function_name: profiled entry point of the module.
+        machine: :class:`MachineModel` for option enumeration and plans.
+        abstractions: dependence views to build (subset of
+            ``ALL_ABSTRACTIONS``; "OpenMP" is always implied).
+        min_coverage: minimum dynamic-instruction share for a loop to be
+            a planning candidate (§6.1's 1%).
+        plan_hierarchical: abstractions whose plans inherit the
+            developer's inner-loop parallelization (J&K, PS-PDG).
+        plan_all_loops: abstractions allowed to plan *every* loop,
+            innermost first, not just outermost ones (PS-PDG).
+        ablate_features: PS-PDG feature names (``repro.core.ablation``)
+            projected out by :meth:`repro.Session.reduced_signature` —
+            the Section 4 ablation knob.
+        workers: virtual worker count for simulated-parallel execution.
+        seed: scheduler seed for simulated-parallel execution.
+    """
+
+    name: str = "session"
+    function_name: str = "main"
+    machine: MachineModel = DEFAULT_MACHINE
+    abstractions: tuple = ALL_ABSTRACTIONS
+    min_coverage: float = 0.01
+    plan_hierarchical: tuple = ("J&K", "PS-PDG")
+    plan_all_loops: tuple = ("PS-PDG",)
+    ablate_features: tuple = ()
+    workers: int = 4
+    seed: int = 0
+
+    def __post_init__(self):
+        unknown = set(self.abstractions) - set(ALL_ABSTRACTIONS)
+        if unknown:
+            raise ValueError(
+                f"unknown abstractions {sorted(unknown)}; "
+                f"choose from {ALL_ABSTRACTIONS}"
+            )
+
+    def derive(self, **changes):
+        """A copy of this config with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
+
+    def fingerprint(self):
+        """Stable textual identity of this config (cache-key component)."""
+        parts = []
+        for field in dataclasses.fields(self):
+            parts.append(f"{field.name}={getattr(self, field.name)!r}")
+        return ";".join(parts)

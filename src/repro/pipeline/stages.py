@@ -1,0 +1,152 @@
+"""The pipeline stage graph (paper Fig. 12, made explicit).
+
+Each :class:`Stage` names its upstream dependencies and knows how to
+build its artifact from a session.  The session materializes stages
+lazily: asking for ``pspdg`` pulls ``module -> function -> alias -> pdg``
+first, each through the content-keyed cache, each exactly once.
+
+Builders receive the owning :class:`repro.Session` and reach upstream
+artifacts through its properties; the ``deps`` edges mirror that data
+flow and are load-bearing — the session derives each stage's cache-key
+config fields from the transitive dependency closure, so a config
+change re-keys exactly the stages it can affect.  ``stats`` callbacks
+summarize the artifact for :mod:`repro.pipeline.diagnostics`.
+"""
+
+import dataclasses
+
+from repro.analysis.alias import AliasAnalysis
+from repro.analysis.loops import find_natural_loops
+from repro.core.builder import PSPDGBuilder
+from repro.emulator.interp import Interpreter
+from repro.emulator.profile import Profiler
+from repro.frontend import compile_source
+from repro.pdg.builder import build_pdg
+from repro.planner.views import JKView, PDGView, PSPDGView
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Stage:
+    """One node of the pipeline graph."""
+
+    name: str
+    deps: tuple
+    build: callable
+    stats: callable = None
+
+
+def _build_module(session):
+    if session._module is not None:
+        return session._module
+    return compile_source(session.source, session.config.name)
+
+
+def _module_stats(module):
+    return {
+        "functions": len(module.functions),
+        "instructions": sum(
+            len(block.instructions)
+            for function in module.functions.values()
+            for block in function.blocks
+        ),
+    }
+
+
+def _build_function(session):
+    return session.module.function(session.config.function_name)
+
+
+def _build_profile(session):
+    name = session.config.function_name
+    interpreter = Interpreter(session.module)
+    return interpreter.run(name, profiler=Profiler(name))
+
+
+def _build_alias(session):
+    return AliasAnalysis(session.module)
+
+
+def _build_pdg(session):
+    return build_pdg(session.function, session.module, session.alias)
+
+
+def _build_loops(session):
+    return find_natural_loops(session.function)
+
+
+def _build_pspdg(session):
+    builder = PSPDGBuilder(
+        session.function, session.module, session.alias, pdg=session.pdg
+    )
+    return builder.build()
+
+
+_VIEW_FACTORIES = {
+    "PDG": lambda s: PDGView(s.function, s.module, s.pdg, s.alias),
+    "J&K": lambda s: JKView(s.function, s.module, s.pdg, s.pspdg, s.alias),
+    "PS-PDG": lambda s: PSPDGView(
+        s.function, s.module, s.pdg, s.pspdg, s.alias
+    ),
+}
+
+
+def _build_views(session):
+    return {
+        name: _VIEW_FACTORIES[name](session)
+        for name in session.config.abstractions
+    }
+
+
+STAGES = {
+    stage.name: stage
+    for stage in (
+        Stage("module", (), _build_module, _module_stats),
+        Stage("function", ("module",), _build_function),
+        Stage(
+            "profile",
+            ("module",),
+            _build_profile,
+            lambda execution: {"steps": execution.steps},
+        ),
+        Stage("alias", ("module",), _build_alias),
+        Stage(
+            "pdg",
+            ("function", "alias"),
+            _build_pdg,
+            lambda pdg: {"nodes": len(pdg.nodes), "edges": len(pdg.edges)},
+        ),
+        Stage(
+            "loops",
+            ("function",),
+            _build_loops,
+            lambda loops: {"loops": len(loops)},
+        ),
+        Stage(
+            "pspdg",
+            ("function", "alias", "pdg"),
+            _build_pspdg,
+            lambda graph: graph.statistics(),
+        ),
+        Stage(
+            "views",
+            ("function", "pdg", "pspdg", "alias"),
+            _build_views,
+            lambda views: {"abstractions": ",".join(views)},
+        ),
+    )
+}
+
+
+def stage_order(target):
+    """Topological (dependency-first) order of stages needed by ``target``."""
+    order = []
+
+    def visit(name):
+        if name in order:
+            return
+        for dep in STAGES[name].deps:
+            visit(dep)
+        order.append(name)
+
+    visit(target)
+    return order

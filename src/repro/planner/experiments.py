@@ -1,81 +1,84 @@
 """End-to-end experiment drivers for the paper's evaluation (§6).
 
-``prepare_benchmark`` runs the whole pipeline once for a workload module
-(profile -> PDG -> PS-PDG -> views); ``fig13_options`` and
-``fig14_critical_paths`` then regenerate the two result figures for that
-workload.
+.. deprecated::
+    The free functions here (``prepare_benchmark``, ``fig13_options``,
+    ``fig14_critical_paths``) predate :class:`repro.Session`, which owns
+    the pipeline, caches every stage, and exposes the same queries as
+    ``session.options()`` / ``session.critical_paths()`` /
+    ``session.plan()``.  They remain as thin delegating shims so existing
+    callers keep working, but new code should construct a ``Session``.
 """
 
 import dataclasses
+import warnings
 
-from repro.analysis.alias import AliasAnalysis
-from repro.analysis.loops import find_natural_loops
-from repro.core.builder import PSPDGBuilder
-from repro.emulator.interp import Interpreter
-from repro.emulator.profile import Profiler
-from repro.planner.critical_path import CriticalPathEvaluator
-from repro.planner.machine import DEFAULT_MACHINE
-from repro.planner.options import count_options
-from repro.planner.plans import abstraction_plan, openmp_source_plan
-from repro.planner.views import JKView, PDGView, PSPDGView
+from repro.core.model import PSPDG
+from repro.emulator.interp import ExecutionResult
+from repro.emulator.profile import FunctionProfile
+from repro.ir.function import Function, Module
+from repro.pdg.graph import PDG
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class BenchmarkSetup:
-    """Everything the experiments need about one workload."""
+    """Everything the experiments need about one workload.
+
+    A typed snapshot of one :class:`repro.Session`'s artifacts; the
+    session itself rides along so the figure shims hit its cache instead
+    of recomputing.
+    """
 
     name: str
-    module: object
-    function: object
-    profile: object
-    execution: object  # ExecutionResult
-    pdg: object
-    pspdg: object
+    session: "Session"  # repro.session.Session (imported lazily: cycle)
+    module: Module
+    function: Function
+    profile: FunctionProfile
+    execution: ExecutionResult
+    pdg: PDG
+    pspdg: PSPDG
     loops: list
     views: dict  # abstraction name -> DependenceView
 
 
+def _deprecated(old, new):
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def prepare_benchmark(name, module, function_name="main"):
-    """Profile the workload and build every abstraction's view of it."""
-    interpreter = Interpreter(module)
-    execution = interpreter.run(function_name, profiler=Profiler(function_name))
-    function = module.function(function_name)
+    """Profile the workload and build every abstraction's view of it.
 
-    alias = AliasAnalysis(module)
-    builder = PSPDGBuilder(function, module, alias)
-    pspdg = builder.build()
-    pdg = builder.pdg
-    loops = find_natural_loops(function)
+    .. deprecated:: use ``Session.from_module(module, name=...)``.
+    """
+    from repro.session import Session
 
-    views = {
-        "PDG": PDGView(function, module, pdg, alias),
-        "J&K": JKView(function, module, pdg, pspdg, alias),
-        "PS-PDG": PSPDGView(function, module, pdg, pspdg, alias),
-    }
-    return BenchmarkSetup(
-        name=name,
-        module=module,
-        function=function,
-        profile=execution.profile,
-        execution=execution,
-        pdg=pdg,
-        pspdg=pspdg,
-        loops=loops,
-        views=views,
+    _deprecated("prepare_benchmark()", "repro.Session.from_module()")
+    session = Session.from_module(
+        module, name=name, function_name=function_name
     )
+    return session.benchmark_setup()
 
 
-def fig13_options(setup, machine=DEFAULT_MACHINE, min_coverage=0.01):
-    """Fig. 13: parallelization options per abstraction for one benchmark."""
-    return count_options(
-        setup.name,
-        setup.function,
-        setup.loops,
-        setup.profile,
-        setup.views,
-        machine,
-        min_coverage,
-    )
+def _session_of(setup):
+    session = getattr(setup, "session", None)
+    if session is None:
+        raise TypeError(
+            "BenchmarkSetup without a session; construct it via "
+            "Session.benchmark_setup() or prepare_benchmark()"
+        )
+    return session
+
+
+def fig13_options(setup, machine=None, min_coverage=0.01):
+    """Fig. 13: parallelization options per abstraction for one benchmark.
+
+    .. deprecated:: use ``session.options(machine, min_coverage)``.
+    """
+    _deprecated("fig13_options()", "Session.options()")
+    return _session_of(setup).options(machine, min_coverage)
 
 
 def fig14_critical_paths(setup):
@@ -83,43 +86,11 @@ def fig14_critical_paths(setup):
 
     Returns ``{abstraction: {"critical_path": int, "speedup": float}}``
     including the sequential execution and the OpenMP source plan.
+
+    .. deprecated:: use ``session.critical_paths()``.
     """
-    profile = setup.profile
-
-    def evaluator_factory(plan):
-        return CriticalPathEvaluator(profile, plan)
-
-    results = {}
-    sequential_cp = profile.total()
-    results["Sequential"] = {"critical_path": sequential_cp, "speedup": None}
-
-    openmp_plan = openmp_source_plan(setup.function)
-    openmp_cp = CriticalPathEvaluator(profile, openmp_plan).evaluate()
-    results["OpenMP"] = {
-        "critical_path": openmp_cp,
-        "speedup": 1.0,
-        "plan": openmp_plan,
-    }
-
-    hierarchy = {"PDG": False, "J&K": True, "PS-PDG": True}
-    all_loops = {"PDG": False, "J&K": False, "PS-PDG": True}
-    for name, view in setup.views.items():
-        plan = abstraction_plan(
-            name,
-            setup.function,
-            view,
-            profile,
-            hierarchical_inner=hierarchy[name],
-            evaluator_factory=evaluator_factory,
-            plan_all_loops=all_loops[name],
-        )
-        cp = CriticalPathEvaluator(profile, plan).evaluate()
-        results[name] = {
-            "critical_path": cp,
-            "speedup": openmp_cp / cp if cp else float("inf"),
-            "plan": plan,
-        }
-    return results
+    _deprecated("fig14_critical_paths()", "Session.critical_paths()")
+    return _session_of(setup).critical_paths()
 
 
 def format_fig13_row(report):

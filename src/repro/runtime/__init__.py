@@ -5,7 +5,9 @@ from repro.runtime.executor import (
     ParallelInterpreter,
     parallelization_from_annotation,
     parallelization_from_pspdg,
+    recipes_from_plan,
     run_parallel,
+    run_plan,
     run_source_plan,
 )
 
@@ -14,6 +16,8 @@ __all__ = [
     "ParallelInterpreter",
     "parallelization_from_annotation",
     "parallelization_from_pspdg",
+    "recipes_from_plan",
     "run_parallel",
+    "run_plan",
     "run_source_plan",
 ]

@@ -491,6 +491,58 @@ def run_parallel(
     return interpreter.run(function_name)
 
 
+def recipes_from_plan(module, pspdg, plan, function):
+    """Execution recipes for every executable DOALL loop of ``plan``.
+
+    Only canonical-form DOALL loops run on the simulated machine (HELIX/
+    DSWP are analytical-only in this repository); loops nested inside
+    another planned DOALL loop are skipped — the outer takeover already
+    executes them.
+    """
+    from repro.planner.plans import TECH_DOALL
+
+    loops = {
+        loop.header.name: loop for loop in find_natural_loops(function)
+    }
+
+    def inside_planned_parent(loop):
+        parent = loop.parent
+        while parent is not None:
+            parent_plan = plan.plan_for(parent.header.name)
+            if (
+                parent_plan is not None
+                and parent_plan.technique == TECH_DOALL
+                and parent.canonical is not None
+            ):
+                return True
+            parent = parent.parent
+        return False
+
+    recipes = []
+    for header, loop_plan in sorted(plan.loop_plans.items()):
+        if loop_plan.technique != TECH_DOALL:
+            continue
+        loop = loops.get(header)
+        if loop is None or loop.canonical is None:
+            continue
+        if inside_planned_parent(loop):
+            continue
+        recipes.append(parallelization_from_pspdg(pspdg, loop))
+    return recipes
+
+
+def run_plan(module, pspdg, plan, function_name="main", workers=4, seed=0):
+    """Execute a :class:`ProgramPlan` chosen from the PS-PDG.
+
+    This is the runtime entry point :meth:`repro.Session.run` uses: the
+    plan's DOALL loops take over with PS-PDG-derived privatization and
+    reduction recipes; everything else runs sequentially.
+    """
+    function = module.function(function_name)
+    recipes = recipes_from_plan(module, pspdg, plan, function)
+    return run_parallel(module, recipes, function_name, workers, seed)
+
+
 def run_source_plan(module, function_name="main", workers=4, seed=0):
     """Execute the developer's OpenMP plan (all worksharing annotations)."""
     function = module.function(function_name)

@@ -1,0 +1,406 @@
+"""``repro.Session`` — the staged, cached pipeline API.
+
+One session owns one program and materializes the paper's Fig. 12
+pipeline lazily, exactly once per artifact::
+
+    from repro import Session
+
+    s = Session.from_source(source_text, name="demo")
+    s.pspdg                  # compiles, profiles, builds PDG + PS-PDG
+    plan = s.plan()          # best PS-PDG plan by ideal critical path
+    result = s.run(plan)     # validated simulated-parallel execution
+
+Every property triggers only the stages it needs (module -> profile ->
+pdg -> pspdg -> views -> options / critical paths); artifacts live in a
+content-hash keyed :class:`~repro.pipeline.cache.PipelineCache`, so a
+second ``s.plan()`` or ``s.options()`` performs zero rebuilds — the hot
+path of every benchmark.  Per-stage wall time and artifact statistics
+are recorded in ``s.diagnostics``.  Reassigning ``s.source`` or calling
+``s.reconfigure(...)`` re-keys the affected stages; nothing stale can be
+returned.
+"""
+
+from repro.pipeline.cache import PipelineCache, content_key
+from repro.pipeline.config import SessionConfig
+from repro.pipeline.diagnostics import Diagnostics
+from repro.pipeline.stages import STAGES
+from repro.planner.critical_path import CriticalPathEvaluator
+from repro.planner.options import count_options
+from repro.planner.plans import abstraction_plan, openmp_source_plan
+
+#: Config fields each stage's *own* builder reads.  A stage's cache key
+#: covers these plus — transitively through the stage graph's ``deps``
+#: edges — every upstream stage's fields, so changing e.g. the config
+#: ``name`` (which re-keys the ``module`` stage) re-keys everything
+#: downstream, while a machine-model change re-enumerates options
+#: without invalidating the PS-PDG.
+_STAGE_PARAMS = {
+    "module": ("name",),
+    "function": ("function_name",),
+    "profile": ("function_name",),
+    "alias": (),
+    "pdg": (),
+    "loops": (),
+    "pspdg": (),
+    "views": ("abstractions",),
+    # Query stages: the effective machine/min_coverage of ``options``
+    # travel as explicit key extras, not config fields.
+    "options": ("name",),
+    "critical_paths": ("name", "plan_hierarchical", "plan_all_loops"),
+}
+
+#: Upstream stages of the query methods (not in STAGES themselves).
+_QUERY_DEPS = {
+    "options": ("function", "loops", "profile", "views"),
+    "critical_paths": ("function", "profile", "views"),
+}
+
+
+def _key_fields(stage_name, _cache={}):
+    """Config fields covering ``stage_name`` and its transitive deps."""
+    if stage_name not in _cache:
+        fields = set(_STAGE_PARAMS.get(stage_name, ()))
+        deps = (
+            STAGES[stage_name].deps
+            if stage_name in STAGES
+            else _QUERY_DEPS[stage_name]
+        )
+        for dep in deps:
+            fields.update(_key_fields(dep))
+        _cache[stage_name] = tuple(sorted(fields))
+    return _cache[stage_name]
+
+
+class Session:
+    """Owns one program; materializes pipeline artifacts lazily, once."""
+
+    def __init__(self, source=None, module=None, config=None, **overrides):
+        if (source is None) == (module is None):
+            raise ValueError("provide exactly one of source= or module=")
+        config = config if config is not None else SessionConfig()
+        if overrides:
+            config = config.derive(**overrides)
+        self._source = source
+        self._module = module
+        self._generation = 0
+        self.config = config
+        self.cache = PipelineCache()
+        self.diagnostics = Diagnostics()
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_source(cls, source, name=None, config=None, **overrides):
+        """Session over MiniOMP/Cilk source text.
+
+        An explicit ``name=`` wins; otherwise the name comes from
+        ``config``/``overrides`` (default: "session").
+        """
+        if name is not None:
+            overrides.setdefault("name", name)
+        return cls(source=source, config=config, **overrides)
+
+    @classmethod
+    def from_module(cls, module, name=None, config=None, **overrides):
+        """Session over an already-compiled IR module.
+
+        Defaults the session name to the module's name unless the
+        caller supplies one (directly or via ``config``).
+        """
+        if name is None and config is None and "name" not in overrides:
+            name = getattr(module, "name", None)
+        if name is not None:
+            overrides.setdefault("name", name)
+        return cls(module=module, config=config, **overrides)
+
+    @classmethod
+    def from_kernel(cls, kernel_name, config=None, **overrides):
+        """Session over one of the NAS mini-kernels ("IS", "MG", ...)."""
+        from repro.workloads import build_kernel
+
+        if config is None:
+            overrides.setdefault("name", kernel_name)
+        return cls(module=build_kernel(kernel_name), config=config,
+                   **overrides)
+
+    # -- cache plumbing -------------------------------------------------------
+
+    def _source_identity(self):
+        if self._source is not None:
+            return content_key(self._source)
+        return f"module:{id(self._module)}"
+
+    def _stage_key(self, stage_name, extra=()):
+        params = tuple(
+            (field, getattr(self.config, field))
+            for field in _key_fields(stage_name)
+        )
+        return content_key(
+            self._source_identity(), self._generation, params, extra
+        )
+
+    def _stage(self, stage_name):
+        stage = STAGES[stage_name]
+        return self.cache.get_or_build(
+            stage_name,
+            self._stage_key(stage_name),
+            lambda: stage.build(self),
+            self.diagnostics,
+            stage.stats,
+        )
+
+    def invalidate(self):
+        """Drop every cached artifact; the next query rebuilds from source."""
+        self._generation += 1
+        return self.cache.invalidate()
+
+    def reconfigure(self, **changes):
+        """Apply config changes in place.
+
+        Stages whose keys involve a changed field rebuild on next access;
+        everything else (typically the expensive graph builds) stays
+        cached.  Returns ``self`` for chaining.
+        """
+        self.config = self.config.derive(**changes)
+        return self
+
+    # -- the program ----------------------------------------------------------
+
+    @property
+    def source(self):
+        return self._source
+
+    @source.setter
+    def source(self, text):
+        """Replace the program; invalidates every downstream artifact."""
+        self._source = text
+        self._module = None
+        self._generation += 1
+
+    # -- pipeline artifacts (lazy, cached) ------------------------------------
+
+    @property
+    def module(self):
+        """Annotated IR module (stage: frontend)."""
+        return self._stage("module")
+
+    @property
+    def function(self):
+        """The profiled entry-point function."""
+        return self._stage("function")
+
+    @property
+    def execution(self):
+        """Sequential :class:`ExecutionResult` with loop-nest profile."""
+        return self._stage("profile")
+
+    @property
+    def profile(self):
+        """The dynamic loop-nest profile of the sequential run."""
+        return self.execution.profile
+
+    @property
+    def alias(self):
+        """Module-wide alias analysis."""
+        return self._stage("alias")
+
+    @property
+    def pdg(self):
+        """The sequential Program Dependence Graph."""
+        return self._stage("pdg")
+
+    @property
+    def loops(self):
+        """Natural loops of the entry function."""
+        return self._stage("loops")
+
+    @property
+    def pspdg(self):
+        """The Parallel-Semantics PDG (the paper's contribution)."""
+        return self._stage("pspdg")
+
+    @property
+    def views(self):
+        """Abstraction name -> :class:`DependenceView` per the config."""
+        return self._stage("views")
+
+    # -- planning queries ------------------------------------------------------
+
+    def options(self, machine=None, min_coverage=None):
+        """Fig. 13 option enumeration (cached per machine/coverage)."""
+        machine = machine if machine is not None else self.config.machine
+        if min_coverage is None:
+            min_coverage = self.config.min_coverage
+        key = self._stage_key("options", (machine, min_coverage))
+        return self.cache.get_or_build(
+            "options",
+            key,
+            lambda: count_options(
+                self.config.name,
+                self.function,
+                self.loops,
+                self.profile,
+                self.views,
+                machine,
+                min_coverage,
+            ),
+            self.diagnostics,
+            lambda report: dict(report.totals),
+        )
+
+    def critical_paths(self):
+        """Fig. 14 per-abstraction critical paths, speedups, and plans."""
+        return self.cache.get_or_build(
+            "critical_paths",
+            self._stage_key("critical_paths"),
+            self._build_critical_paths,
+            self.diagnostics,
+            lambda results: {
+                name: round(entry["speedup"], 3)
+                for name, entry in results.items()
+                if entry.get("speedup") is not None
+            },
+        )
+
+    def _build_critical_paths(self):
+        profile = self.profile
+        config = self.config
+
+        def evaluator_factory(plan):
+            return CriticalPathEvaluator(profile, plan)
+
+        results = {}
+        results["Sequential"] = {
+            "critical_path": profile.total(),
+            "speedup": None,
+        }
+        openmp_plan = openmp_source_plan(self.function)
+        openmp_cp = CriticalPathEvaluator(profile, openmp_plan).evaluate()
+        results["OpenMP"] = {
+            "critical_path": openmp_cp,
+            "speedup": 1.0,
+            "plan": openmp_plan,
+        }
+        for name, view in self.views.items():
+            plan = abstraction_plan(
+                name,
+                self.function,
+                view,
+                profile,
+                hierarchical_inner=name in config.plan_hierarchical,
+                evaluator_factory=evaluator_factory,
+                plan_all_loops=name in config.plan_all_loops,
+            )
+            cp = CriticalPathEvaluator(profile, plan).evaluate()
+            results[name] = {
+                "critical_path": cp,
+                "speedup": openmp_cp / cp if cp else float("inf"),
+                "plan": plan,
+            }
+        return results
+
+    def plan(self, abstraction="PS-PDG"):
+        """The chosen plan for ``abstraction`` ("OpenMP" for the source plan)."""
+        results = self.critical_paths()
+        if abstraction not in results:
+            raise KeyError(
+                f"no plan for abstraction {abstraction!r}; "
+                f"have {sorted(results)}"
+            )
+        entry = results[abstraction]
+        if "plan" not in entry:
+            raise KeyError(f"{abstraction!r} has no executable plan")
+        return entry["plan"]
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, plan=None, workers=None, seed=None):
+        """Execute the program under ``plan`` on the simulated machine.
+
+        ``plan`` may be a :class:`ProgramPlan`, an abstraction name
+        (planned on demand), or ``None``/"source" for the developer's
+        OpenMP plan.
+        """
+        from repro.runtime.executor import run_plan, run_source_plan
+
+        workers = workers if workers is not None else self.config.workers
+        seed = seed if seed is not None else self.config.seed
+        if plan is None or plan in ("source", "OpenMP"):
+            return run_source_plan(
+                self.module, self.config.function_name, workers, seed
+            )
+        if isinstance(plan, str):
+            plan = self.plan(plan)
+        return run_plan(
+            self.module,
+            self.pspdg,
+            plan,
+            self.config.function_name,
+            workers,
+            seed,
+        )
+
+    # -- ablation / canonical form --------------------------------------------
+
+    def signature(self):
+        """Canonical signature of the full PS-PDG."""
+        from repro.core.ablation import full
+        from repro.core.canonical import signature
+
+        return signature(full(self.pspdg))
+
+    def reduced_signature(self, projection=None):
+        """Signature after ablating features (Section 4 necessity knob).
+
+        ``projection`` is a callable (e.g.
+        :func:`repro.core.ablation.without_traits`); when omitted, the
+        config's ``ablate_features`` are projected out.
+        """
+        from repro.core.ablation import project
+
+        if projection is not None:
+            return _canonical_signature(projection(self.pspdg))
+        reduced = project(self.pspdg, self.config.ablate_features)
+        return _canonical_signature(reduced)
+
+    # -- interop ---------------------------------------------------------------
+
+    def benchmark_setup(self):
+        """This session's artifacts as a typed :class:`BenchmarkSetup`."""
+        from repro.planner.experiments import BenchmarkSetup
+
+        return BenchmarkSetup(
+            name=self.config.name,
+            session=self,
+            module=self.module,
+            function=self.function,
+            profile=self.profile,
+            execution=self.execution,
+            pdg=self.pdg,
+            pspdg=self.pspdg,
+            loops=self.loops,
+            views=self.views,
+        )
+
+    def describe(self):
+        """One-line summary plus the per-stage diagnostics table."""
+        header = (
+            f"Session {self.config.name!r} "
+            f"(function={self.config.function_name}, "
+            f"cache entries={len(self.cache)}, "
+            f"hits={self.cache.hits}, misses={self.cache.misses})"
+        )
+        return header + "\n" + self.diagnostics.report()
+
+    def __repr__(self):
+        origin = "source" if self._source is not None else "module"
+        return (
+            f"<Session {self.config.name!r} from {origin}, "
+            f"{len(self.cache)} cached artifacts>"
+        )
+
+
+def _canonical_signature(reduced):
+    from repro.core.canonical import signature
+
+    return signature(reduced)

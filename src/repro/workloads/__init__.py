@@ -6,6 +6,7 @@ from repro.workloads.necessity import (
     PAIRS,
     NecessityPair,
     build_pair_graphs,
+    build_pair_sessions,
     demonstrate,
 )
 
@@ -17,5 +18,6 @@ __all__ = [
     "PAIRS",
     "NecessityPair",
     "build_pair_graphs",
+    "build_pair_sessions",
     "demonstrate",
 ]

@@ -161,16 +161,24 @@ PAIRS = [
 ]
 
 
+def build_pair_sessions(pair):
+    """One :class:`repro.Session` per program of a pair (PS-PDG on demand)."""
+    from repro.session import Session
+
+    return {
+        label: Session.from_source(
+            source, name=f"necessity-{pair.key}-{label}"
+        )
+        for label, source in pair.sources().items()
+    }
+
+
 def build_pair_graphs(pair):
     """Compile both programs of a pair and build their PS-PDGs."""
-    from repro.core.builder import build_pspdg
-    from repro.frontend import compile_source
-
-    graphs = {}
-    for label, source in pair.sources().items():
-        module = compile_source(source, f"necessity-{pair.key}-{label}")
-        graphs[label] = build_pspdg(module.function("main"), module)
-    return graphs
+    return {
+        label: session.pspdg
+        for label, session in build_pair_sessions(pair).items()
+    }
 
 
 def demonstrate(pair):
@@ -180,14 +188,10 @@ def demonstrate(pair):
     representations differ but the reduced ones coincide, i.e. the result
     is ``(False, True)``.
     """
-    from repro.core.ablation import full
-    from repro.core.canonical import signature
-
-    graphs = build_pair_graphs(pair)
-    full_equal = signature(full(graphs["fast"])) == signature(
-        full(graphs["slow"])
-    )
-    reduced_equal = signature(pair.projection(graphs["fast"])) == signature(
-        pair.projection(graphs["slow"])
-    )
+    sessions = build_pair_sessions(pair)
+    fast, slow = sessions["fast"], sessions["slow"]
+    full_equal = fast.signature() == slow.signature()
+    reduced_equal = fast.reduced_signature(
+        pair.projection
+    ) == slow.reduced_signature(pair.projection)
     return full_equal, reduced_equal

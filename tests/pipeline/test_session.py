@@ -1,0 +1,318 @@
+"""The Session API: lazy stages, exactly-once caching, invalidation, CLI."""
+
+import subprocess
+import sys
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro import Session, SessionConfig
+from repro.planner import MachineModel
+from repro.planner.experiments import (
+    BenchmarkSetup,
+    fig13_options,
+    fig14_critical_paths,
+    prepare_benchmark,
+)
+from repro.planner.plans import ProgramPlan
+
+SOURCE = """
+global data: int[64];
+global hist: int[8];
+
+func main() {
+  for s in 0..64 {
+    data[s] = (s * 13 + 3) % 41;
+  }
+  var total: int = 0;
+  pragma omp parallel_for reduction(+: total)
+  for i in 0..64 {
+    total = total + data[i];
+  }
+  print("total", total);
+}
+"""
+
+SOURCE_CHANGED = SOURCE.replace("% 41", "% 17")
+
+GRAPH_STAGES = ("module", "profile", "alias", "pdg", "pspdg", "views")
+
+
+@pytest.fixture
+def session():
+    return Session.from_source(SOURCE, name="t")
+
+
+# -- laziness -----------------------------------------------------------------
+
+
+def test_construction_runs_nothing(session):
+    assert len(session.cache) == 0
+    assert session.diagnostics.runs("module") == 0
+
+
+def test_module_access_builds_only_the_frontend(session):
+    session.module
+    assert session.diagnostics.runs("module") == 1
+    for stage in ("profile", "pdg", "pspdg", "views"):
+        assert session.diagnostics.runs(stage) == 0, stage
+
+
+def test_pspdg_pulls_upstream_stages_not_profile(session):
+    session.pspdg
+    for stage in ("module", "alias", "pdg", "pspdg"):
+        assert session.diagnostics.runs(stage) == 1, stage
+    # The PS-PDG does not need the interpreter.
+    assert session.diagnostics.runs("profile") == 0
+
+
+# -- exactly-once memoization -------------------------------------------------
+
+
+def test_every_stage_runs_exactly_once(session):
+    for _ in range(3):
+        session.plan()
+        session.options()
+        session.critical_paths()
+    for stage in GRAPH_STAGES:
+        assert session.diagnostics.runs(stage) == 1, stage
+    assert session.diagnostics.runs("options") == 1
+    assert session.diagnostics.runs("critical_paths") == 1
+    assert session.cache.hits > 0
+
+
+def test_repeated_queries_return_identical_artifacts(session):
+    assert session.plan() is session.plan()
+    assert session.options() is session.options()
+    assert session.pspdg is session.pspdg
+
+
+def test_plan_is_a_program_plan(session):
+    plan = session.plan()
+    assert isinstance(plan, ProgramPlan)
+    assert session.plan("OpenMP").name == "OpenMP"
+    with pytest.raises(KeyError):
+        session.plan("no-such-abstraction")
+
+
+# -- config-driven behavior ---------------------------------------------------
+
+
+def test_machine_override_changes_options_not_graphs(session):
+    small = session.options(MachineModel(cores=4, chunk_sizes=(1,)))
+    large = session.options(MachineModel(cores=8, chunk_sizes=(1,)))
+    assert small.totals["PS-PDG"] * 2 == large.totals["PS-PDG"]
+    assert session.diagnostics.runs("options") == 2
+    assert session.diagnostics.runs("pspdg") == 1
+
+
+def test_config_machine_flows_into_options():
+    machine = MachineModel(cores=3, chunk_sizes=(1,))
+    session = Session.from_source(SOURCE, name="t", machine=machine)
+    # One DOALL loop candidate parallelized by the programmer: the
+    # annotated loop contributes cores x chunks options.
+    assert session.options().totals["OpenMP"] == 3
+
+
+def test_reconfigure_keeps_expensive_stages_cached(session):
+    session.plan()
+    session.reconfigure(machine=MachineModel(cores=2, chunk_sizes=(1,)))
+    session.options()
+    assert session.diagnostics.runs("pspdg") == 1
+    assert session.diagnostics.runs("profile") == 1
+
+
+def test_rename_rekeys_downstream_stages(session):
+    # Changing the session name re-keys the module stage; every
+    # downstream artifact must follow it — no mixed-module state.
+    session.pspdg
+    session.reconfigure(name="renamed")
+    sequential = session.execution.formatted_output()
+    result = session.run(session.plan())
+    assert result.formatted_output() == sequential
+    assert session.diagnostics.runs("pspdg") == 2
+
+
+def test_explicit_config_name_is_respected():
+    config = SessionConfig(name="explicit")
+    session = Session.from_source(SOURCE, config=config)
+    assert session.config.name == "explicit"
+    # A direct name= argument still wins over the config.
+    named = Session.from_source(SOURCE, name="direct", config=config)
+    assert named.config.name == "direct"
+    kernel = Session.from_kernel("EP", config=config)
+    assert kernel.config.name == "explicit"
+
+
+def test_abstraction_subset(session):
+    session.reconfigure(abstractions=("PS-PDG",))
+    assert set(session.views) == {"PS-PDG"}
+    results = session.critical_paths()
+    assert "PS-PDG" in results and "PDG" not in results
+
+
+def test_unknown_abstraction_rejected():
+    with pytest.raises(ValueError):
+        SessionConfig(abstractions=("PDG", "bogus"))
+
+
+def test_config_is_immutable(session):
+    with pytest.raises(Exception):
+        session.config.name = "other"
+
+
+# -- invalidation -------------------------------------------------------------
+
+
+def test_source_change_invalidates_pipeline(session):
+    before = session.pspdg
+    first_output = session.execution.formatted_output()
+    session.source = SOURCE_CHANGED
+    after = session.pspdg
+    assert after is not before
+    assert session.diagnostics.runs("pspdg") == 2
+    assert session.execution.formatted_output() != first_output
+
+
+def test_explicit_invalidate_forces_rebuild(session):
+    session.pspdg
+    dropped = session.invalidate()
+    assert dropped > 0
+    session.pspdg
+    assert session.diagnostics.runs("pspdg") == 2
+
+
+# -- constructors -------------------------------------------------------------
+
+
+def test_from_module_and_from_kernel():
+    kernel_session = Session.from_kernel("EP")
+    assert kernel_session.config.name == "EP"
+    module_session = Session.from_module(kernel_session.module, name="EP2")
+    assert module_session.options().totals["PS-PDG"] > 0
+
+
+def test_requires_exactly_one_program_origin():
+    with pytest.raises(ValueError):
+        Session()
+    with pytest.raises(ValueError):
+        Session(source=SOURCE, module=object())
+
+
+# -- execution ----------------------------------------------------------------
+
+
+def test_run_plan_matches_sequential(session):
+    sequential = session.execution.formatted_output()
+    for seed in (0, 1):
+        result = session.run(session.plan(), seed=seed)
+        assert result.formatted_output() == sequential
+    assert session.run("source").formatted_output() == sequential
+
+
+# -- deprecation shims --------------------------------------------------------
+
+
+def test_shims_warn_and_delegate():
+    session = Session.from_source(SOURCE, name="t")
+    with pytest.warns(DeprecationWarning):
+        setup = prepare_benchmark("t", session.module)
+    assert isinstance(setup, BenchmarkSetup)
+    assert setup.session is not None
+    with pytest.warns(DeprecationWarning):
+        report = fig13_options(setup)
+    with pytest.warns(DeprecationWarning):
+        results = fig14_critical_paths(setup)
+    assert report.totals == session.options().totals
+    assert (
+        results["PS-PDG"]["critical_path"]
+        == session.critical_paths()["PS-PDG"]["critical_path"]
+    )
+    # The shim rides the wrapped session's cache.
+    with pytest.warns(DeprecationWarning):
+        fig13_options(setup)
+    assert setup.session.diagnostics.runs("options") == 1
+
+
+def test_top_level_compile_source_warns():
+    import repro
+
+    with pytest.warns(DeprecationWarning):
+        module = repro.compile_source(SOURCE)
+    assert module.function("main") is not None
+
+
+def test_benchmark_setup_is_slotted():
+    session = Session.from_source(SOURCE, name="t")
+    setup = session.benchmark_setup()
+    assert not hasattr(setup, "__dict__")
+    with pytest.raises(AttributeError):
+        setup.unknown_field = 1
+
+
+# -- diagnostics --------------------------------------------------------------
+
+
+def test_diagnostics_report_renders(session):
+    session.plan()
+    text = session.describe()
+    for stage in ("module", "pdg", "pspdg", "critical_paths"):
+        assert stage in text
+    as_dict = session.diagnostics.as_dict()
+    assert as_dict["pspdg"]["runs"] == 1
+    assert as_dict["pspdg"]["stats"]["hierarchical_nodes"] > 0
+
+
+# -- the CLI ------------------------------------------------------------------
+
+
+def _run_cli(*argv):
+    import os
+
+    repo_root = Path(__file__).resolve().parents[2]
+    env = dict(os.environ)
+    src = str(repo_root / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}:{existing}" if existing else src
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True,
+        text=True,
+        cwd=repo_root,
+        env=env,
+    )
+
+
+def test_cli_plan_on_example_source():
+    proc = _run_cli("plan", "examples/histogram.mop")
+    assert proc.returncode == 0, proc.stderr
+    assert "PS-PDG" in proc.stdout
+    assert "DOALL" in proc.stdout
+
+
+def test_cli_run_verifies_against_sequential():
+    proc = _run_cli(
+        "run", "examples/histogram.mop", "--plan", "PS-PDG", "--verify"
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "checksum" in proc.stdout
+    assert "matches sequential" in proc.stderr
+
+
+def test_cli_compile_and_report(tmp_path):
+    proc = _run_cli("compile", "examples/histogram.mop", "--pspdg")
+    assert proc.returncode == 0, proc.stderr
+    assert "PS-PDG" in proc.stdout
+
+    proc = _run_cli("report", "examples/histogram.mop", "EP")
+    assert proc.returncode == 0, proc.stderr
+    assert "Fig. 13" in proc.stdout
+    assert "Fig. 14" in proc.stdout
+    assert "EP" in proc.stdout
+
+
+def test_cli_rejects_unknown_program():
+    proc = _run_cli("plan", "no/such/file.mop")
+    assert proc.returncode != 0
+    assert "neither a source file nor a NAS kernel" in proc.stderr
