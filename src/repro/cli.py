@@ -47,6 +47,12 @@ def _build_session(program, args):
         overrides["workers"] = args.workers
     if getattr(args, "seed", None) is not None:
         overrides["seed"] = args.seed
+    if getattr(args, "backend", None):
+        overrides["backend"] = args.backend
+    if getattr(args, "schedule", None):
+        overrides["schedule"] = args.schedule
+    if getattr(args, "chunk", None) is not None:
+        overrides["chunk"] = args.chunk
 
     path = pathlib.Path(program)
     if path.exists():
@@ -105,10 +111,14 @@ def _cmd_plan(args):
 def _cmd_run(args):
     session = _build_session(args.program, args)
     plan = None if args.plan in ("source", "OpenMP") else args.plan
-    result = session.run(plan, workers=args.workers, seed=args.seed)
+    result = session.run(plan, workers=args.workers, seed=args.seed,
+                         backend=args.backend, schedule=args.schedule,
+                         chunk=args.chunk)
     for line in result.formatted_output():
         print(line)
     print(f"[{result.steps} dynamic instructions]", file=sys.stderr)
+    if args.diagnostics:
+        print(session.diagnostics.parallel_report(), file=sys.stderr)
     if args.verify:
         expected = session.execution.formatted_output()
         if result.formatted_output() == expected:
@@ -224,8 +234,27 @@ def build_parser():
     p_run.add_argument("--workers", type=int, default=4)
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument(
+        "--backend", default=None,
+        choices=("simulated", "threads", "processes"),
+        help="execution backend (default: simulated — the seeded "
+             "interleaving oracle; threads/processes run for real)",
+    )
+    p_run.add_argument(
+        "--schedule", default=None,
+        choices=("static", "dynamic", "guided"),
+        help="chunk schedule shared by all backends (default: static)",
+    )
+    p_run.add_argument(
+        "--chunk", type=int, default=None,
+        help="chunk-size override (default: each loop recipe's own)",
+    )
+    p_run.add_argument(
         "--verify", action="store_true",
         help="check the parallel output against the sequential run",
+    )
+    p_run.add_argument(
+        "--diagnostics", action="store_true",
+        help="print the per-region, per-worker execution table",
     )
     p_run.set_defaults(func=_cmd_run)
 

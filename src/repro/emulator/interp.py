@@ -33,6 +33,9 @@ class ExecutionResult:
     return_value: object
     steps: int
     profile: object = None  # FunctionProfile when profiling was requested
+    # Per-region stats when the run used a parallel backend: header,
+    # backend, schedule, workers, chunk, seconds, per_worker timings.
+    parallel_regions: list = dataclasses.field(default_factory=list)
 
     def formatted_output(self):
         lines = []
@@ -82,7 +85,7 @@ class _Frame:
 class Interpreter:
     """Executes IR functions; reusable across runs of the same module."""
 
-    def __init__(self, module, max_steps=50_000_000):
+    def __init__(self, module, max_steps=50_000_000, global_storage=None):
         self.module = module
         self.max_steps = max_steps
         self.steps = 0
@@ -92,8 +95,13 @@ class Interpreter:
         self._profiler = None
         self._profiled_function = None
         self._attributing_call = None
-        for name, gvar in module.globals.items():
-            self._global_storage[name] = self._initial_storage(gvar)
+        if global_storage is not None:
+            # Adopt live storage (a parallel worker joining a run in
+            # progress) instead of re-initializing from the module.
+            self._global_storage = global_storage
+        else:
+            for name, gvar in module.globals.items():
+                self._global_storage[name] = self._initial_storage(gvar)
 
     # -- public API ---------------------------------------------------------
 

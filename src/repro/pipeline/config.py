@@ -36,8 +36,15 @@ class SessionConfig:
         ablate_features: PS-PDG feature names (``repro.core.ablation``)
             projected out by :meth:`repro.Session.reduced_signature` —
             the Section 4 ablation knob.
-        workers: virtual worker count for simulated-parallel execution.
-        seed: scheduler seed for simulated-parallel execution.
+        workers: worker count for parallel execution.
+        seed: scheduler seed (interleaving order of the ``simulated``
+            backend; ignored by the real backends).
+        backend: execution backend — ``"simulated"`` (the seeded
+            interleaving oracle), ``"threads"``, or ``"processes"``.
+        schedule: chunk schedule — ``"static"``, ``"dynamic"``, or
+            ``"guided"`` (partitioning is shared by all backends).
+        chunk: chunk-size override; ``None`` uses each loop recipe's own
+            chunk (source ``schedule(..., n)`` clause, default 1).
     """
 
     name: str = "session"
@@ -50,6 +57,9 @@ class SessionConfig:
     ablate_features: tuple = ()
     workers: int = 4
     seed: int = 0
+    backend: str = "simulated"
+    schedule: str = "static"
+    chunk: int | None = None
 
     def __post_init__(self):
         unknown = set(self.abstractions) - set(ALL_ABSTRACTIONS)

@@ -26,6 +26,7 @@ class Diagnostics:
     def __init__(self):
         self._records = {}
         self.events = []  # (stage, seconds) per actual build, in order
+        self.parallel_regions = []  # per parallel loop execution, in order
 
     def _record(self, stage):
         if stage not in self._records:
@@ -42,6 +43,15 @@ class Diagnostics:
 
     def record_hit(self, stage):
         self._record(stage).hits += 1
+
+    def record_parallel(self, region):
+        """Record one parallel region execution (from ``Session.run``).
+
+        ``region`` is the runtime's stats dict: header, backend,
+        schedule, workers, chunk, iterations, seconds, and a
+        ``per_worker`` list of {worker, iterations, steps, seconds}.
+        """
+        self.parallel_regions.append(dict(region))
 
     def runs(self, stage):
         """How many times ``stage`` actually executed (0 if never)."""
@@ -80,6 +90,27 @@ class Diagnostics:
             }
             for record in self.records()
         }
+
+    def parallel_report(self):
+        """A printable per-region, per-worker execution table."""
+        if not self.parallel_regions:
+            return "no parallel regions executed"
+        lines = [
+            f"{'loop':16} {'backend':26} {'sched':8} {'W':>2} "
+            f"{'iters':>6} {'seconds':>9}  per-worker steps"
+        ]
+        lines.append("-" * 88)
+        for region in self.parallel_regions:
+            steps = "/".join(
+                str(worker["steps"]) for worker in region["per_worker"]
+            )
+            lines.append(
+                f"{region['header']:16} {region['backend']:26} "
+                f"{region['schedule']:8} {region['workers']:>2} "
+                f"{region['iterations']:>6} {region['seconds']:>9.4f}  "
+                f"{steps}"
+            )
+        return "\n".join(lines)
 
     def report(self):
         """A printable per-stage table."""

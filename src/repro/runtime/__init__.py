@@ -1,5 +1,22 @@
-"""repro.runtime — deterministic simulated-parallel execution of plans."""
+"""repro.runtime — backend-pluggable parallel execution of plans.
 
+Three :class:`ExecutionBackend` implementations execute planned DOALL
+loops: ``simulated`` (seeded virtual-thread interleaving — the
+race-detection oracle), ``threads`` (real OS threads), and ``processes``
+(real OS processes with serialized per-worker frames).  Iteration
+partitioning is decided once by a :class:`ChunkScheduler` (``static`` /
+``dynamic`` / ``guided``) and shared by every backend.
+"""
+
+from repro.runtime.backends import (
+    BACKENDS,
+    ExecutionBackend,
+    ProcessesBackend,
+    SimulatedBackend,
+    ThreadsBackend,
+    backend_names,
+    get_backend,
+)
 from repro.runtime.executor import (
     LoopParallelization,
     ParallelInterpreter,
@@ -10,14 +27,37 @@ from repro.runtime.executor import (
     run_plan,
     run_source_plan,
 )
+from repro.runtime.schedulers import (
+    SCHEDULERS,
+    ChunkScheduler,
+    DynamicScheduler,
+    GuidedScheduler,
+    StaticScheduler,
+    make_scheduler,
+    schedule_names,
+)
 
 __all__ = [
+    "BACKENDS",
+    "ChunkScheduler",
+    "DynamicScheduler",
+    "ExecutionBackend",
+    "GuidedScheduler",
     "LoopParallelization",
     "ParallelInterpreter",
+    "ProcessesBackend",
+    "SCHEDULERS",
+    "SimulatedBackend",
+    "StaticScheduler",
+    "ThreadsBackend",
+    "backend_names",
+    "get_backend",
+    "make_scheduler",
     "parallelization_from_annotation",
     "parallelization_from_pspdg",
     "recipes_from_plan",
     "run_parallel",
     "run_plan",
     "run_source_plan",
+    "schedule_names",
 ]

@@ -1,0 +1,508 @@
+"""Pluggable execution backends for planned DOALL loops.
+
+The :class:`~repro.runtime.executor.ParallelInterpreter` runs a program
+sequentially until it reaches a planned loop, builds one privatized
+frame per worker, and then hands the region to a backend:
+
+* ``simulated`` — the seeded virtual-thread interleaver.  One Python
+  interpreter steps every worker instruction-by-instruction in a
+  seed-chosen order, so data races introduced by a *wrong* plan show up
+  as real nondeterminism across seeds.  This is the race-detection
+  oracle of the conformance suite, not a performance backend.
+* ``threads`` — one OS thread per worker
+  (:class:`concurrent.futures.ThreadPoolExecutor`).  Workers share the
+  interpreter's storage exactly like the simulated machine; critical
+  and atomic regions take real :class:`threading.Lock` locks.
+* ``processes`` — one OS process per worker (:mod:`multiprocessing`).
+  Each worker's privatized frame, the module, and the current shared
+  state are serialized to the child; the child executes its iterations
+  at full sequential-interpreter speed and sends back its private
+  reduction/lastprivate values plus a slot-level diff of the shared
+  storage it wrote.  The parent applies diffs and merges reductions in
+  worker order, so results are deterministic.  Loops whose bodies
+  contain ``critical``/``atomic`` regions need shared memory and fall
+  back to the ``threads`` backend.
+
+All backends consume the same :class:`ChunkScheduler` partition, so a
+given ``(schedule, chunk, workers)`` triple executes the same
+iteration-to-worker assignment everywhere.
+"""
+
+import concurrent.futures
+import dataclasses
+import multiprocessing
+import pickle
+import threading
+import time
+
+from repro.emulator.interp import Interpreter
+from repro.ir.instructions import Terminator
+from repro.util.errors import EmulationError, PlanError
+
+#: Seconds a worker may wait on one critical-section lock before the
+#: threads backend declares the region deadlocked.
+_LOCK_TIMEOUT = 30.0
+
+#: Minimum seconds the parent waits for a region's worker processes; the
+#: actual allowance scales with the interpreter's step budget (see
+#: :func:`_region_allowance`) so long-but-progressing runs are not
+#: killed while stuck workers still are.
+_PROCESS_TIMEOUT = 120.0
+
+#: Conservative floor on child interpreter throughput (steps/second)
+#: used to convert a step budget into a wall-clock allowance.
+_MIN_STEPS_PER_SECOND = 50_000
+
+
+def _region_allowance(max_steps):
+    return max(_PROCESS_TIMEOUT, max_steps / _MIN_STEPS_PER_SECOND)
+
+
+@dataclasses.dataclass
+class ParallelRegion:
+    """One planned loop's execution context, as handed to a backend."""
+
+    loop: object  # NaturalLoop (canonical form guaranteed)
+    recipe: object  # LoopParallelization
+    frame: object  # the enclosing (sequential) _Frame
+    workers: list  # _Worker instances, one per configured worker
+    backend_used: str = None  # filled by the backend (fallbacks differ)
+
+
+class ExecutionBackend:
+    """Executes every worker of one parallel region to completion.
+
+    A backend must leave each worker's private storage (reductions,
+    lastprivate copies) readable through ``worker.frame`` in the parent
+    interpreter, apply the workers' shared-memory effects, append the
+    workers' ``print`` records to ``interp.output`` deterministically
+    (worker order unless the backend *is* the interleaving oracle), and
+    fill ``worker.steps``/``worker.seconds``.  The interpreter performs
+    the reduction/lastprivate join afterwards.
+    """
+
+    name = None
+
+    def run_region(self, interp, region):
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"<{type(self).__name__}>"
+
+
+# -- worker-local sequential execution ----------------------------------------
+
+
+class _WorkerInterpreter(Interpreter):
+    """Interpreter shell for one worker: own output/step counters.
+
+    Shares (threads) or owns a copy of (processes) the global storage;
+    never rebuilds it from initializers.
+    """
+
+    def __init__(self, module, global_storage, max_steps):
+        # global_storage is the run's live storage: shared with the
+        # parent for threads, this worker's deserialized copy for
+        # processes.
+        super().__init__(module, max_steps, global_storage=global_storage)
+
+    def run_chunk(self, loop, frame, iterations, locks):
+        """Execute ``iterations`` of ``loop``'s body on ``frame``."""
+        canonical = loop.canonical
+        function = frame.function
+        header = loop.header
+        body = function.block(canonical.body)
+        induction_storage = frame.objects[canonical.induction]
+        held = set()
+        try:
+            for value in iterations:
+                induction_storage[0] = value
+                block = body
+                position = 0
+                while True:
+                    if position >= len(block.instructions):
+                        raise EmulationError(
+                            f"worker fell off block {block.name}"
+                        )
+                    inst = block.instructions[position]
+                    self.steps += 1
+                    if self.steps > self.max_steps:
+                        raise EmulationError(
+                            "parallel worker exceeded max_steps"
+                        )
+                    if isinstance(inst, Terminator):
+                        if inst.opcode == "return":
+                            raise EmulationError(
+                                "return inside a parallelized loop body"
+                            )
+                        next_block = self._branch_target(inst, frame)
+                        if next_block is header:
+                            locks.release_all(held)
+                            break
+                        locks.transition(held, block, next_block)
+                        block = next_block
+                        position = 0
+                        continue
+                    self._execute(inst, frame)
+                    position += 1
+        finally:
+            # A worker dying with a critical-section lock held would
+            # stall its siblings until the lock timeout and mask the
+            # real error with a bogus deadlock report.
+            locks.release_all(held)
+
+
+class _NullLocks:
+    """Lock provider for isolated workers (processes): nothing to lock."""
+
+    def transition(self, held, from_block, to_block):
+        pass
+
+    def release_all(self, held):
+        pass
+
+
+class _ThreadLocks:
+    """Real locks for critical/atomic regions, shared by worker threads."""
+
+    def __init__(self, regions):
+        self._regions = regions  # block name -> (lock key, block set)
+        self._locks = {key: threading.Lock() for key, _ in regions.values()}
+
+    def transition(self, held, from_block, to_block):
+        from_region = self._regions.get(from_block.name)
+        to_region = self._regions.get(to_block.name)
+        if from_region and (
+            to_region is None or to_region[0] != from_region[0]
+        ):
+            if from_region[0] in held:
+                held.discard(from_region[0])
+                self._locks[from_region[0]].release()
+        if to_region and to_region[0] not in held:
+            if not self._locks[to_region[0]].acquire(timeout=_LOCK_TIMEOUT):
+                raise EmulationError(
+                    f"deadlock: lock {to_region[0]!r} not released within "
+                    f"{_LOCK_TIMEOUT}s"
+                )
+            held.add(to_region[0])
+
+    def release_all(self, held):
+        for key in list(held):
+            held.discard(key)
+            self._locks[key].release()
+
+
+# -- the three backends ---------------------------------------------------------
+
+
+class SimulatedBackend(ExecutionBackend):
+    """Seeded instruction-level interleaving (the race-detection oracle)."""
+
+    name = "simulated"
+
+    def run_region(self, interp, region):
+        region.backend_used = self.name
+        interp._run_workers(region.workers, region.loop, region.frame)
+
+
+class ThreadsBackend(ExecutionBackend):
+    """One OS thread per worker; shared storage; real locks for criticals."""
+
+    name = "threads"
+
+    def run_region(self, interp, region):
+        region.backend_used = self.name
+        # The interpreter computed the critical-region map for this
+        # function just before dispatching the region.
+        locks = _ThreadLocks(interp._critical_regions)
+        active = [w for w in region.workers if w.iterations]
+        if not active:
+            return
+
+        def job(worker):
+            start = time.perf_counter()
+            shim = _WorkerInterpreter(
+                interp.module, interp._global_storage, interp.max_steps
+            )
+            shim.run_chunk(region.loop, worker.frame, worker.iterations,
+                           locks)
+            worker.seconds = time.perf_counter() - start
+            return shim
+
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=len(active), thread_name_prefix="repro-worker"
+        ) as pool:
+            futures = [(worker, pool.submit(job, worker))
+                       for worker in active]
+            # Worker-order collection keeps output/step totals deterministic.
+            for worker, future in futures:
+                shim = future.result()
+                worker.steps = shim.steps
+                interp.steps += shim.steps
+                interp.output.extend(shim.output)
+
+
+def _fork_preferred_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else None
+    )
+
+
+#: Process-pool singleton: forking a fresh child per worker per region
+#: costs ~10ms each, which dominates small kernels.  A lazily-created
+#: pool amortizes the fork across every region of every run; payloads
+#: carry all state, so pool workers need no inherited context.
+_POOL = None
+_POOL_LOCK = threading.Lock()
+
+
+def _chunk_pool():
+    global _POOL
+    with _POOL_LOCK:
+        if _POOL is None:
+            import atexit
+            import os
+
+            _POOL = concurrent.futures.ProcessPoolExecutor(
+                max_workers=max(2, min(8, os.cpu_count() or 2)),
+                mp_context=_fork_preferred_context(),
+            )
+            # Tear the pool down before interpreter shutdown dismantles
+            # the modules its weakref callbacks still reference.
+            atexit.register(_reset_chunk_pool)
+        return _POOL
+
+
+def _reset_chunk_pool(kill=False):
+    global _POOL
+    with _POOL_LOCK:
+        pool, _POOL = _POOL, None
+    if pool is None:
+        return
+    if kill:
+        # A worker is stuck mid-chunk: shutdown() alone would wait on it
+        # (and leave it occupying a slot); terminate the children so the
+        # next pool starts clean.
+        for process in list(getattr(pool, "_processes", {}).values()):
+            try:
+                process.terminate()
+            except Exception:
+                pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _pool_chunk_entry(payload_bytes):
+    """Pool-worker entry point: run one worker's chunk, return its report.
+
+    Never raises — errors come back as ``{"error": ...}`` so one bad
+    chunk cannot poison the shared pool.
+    """
+    try:
+        payload = pickle.loads(payload_bytes)
+        frame = payload["frame"]
+        loop = payload["loop"]
+        global_storage = payload["global_storage"]
+        private_globals = payload["private_globals"]
+        private_alloca_uids = payload["private_alloca_uids"]
+
+        # Snapshot the *shared* storage so mutations can be diffed after
+        # the run; private copies are returned whole instead.
+        globals_before = {
+            name: list(values)
+            for name, values in global_storage.items()
+            if name not in frame.global_overlay
+        }
+        allocas_before = {
+            inst: list(storage)
+            for inst, storage in frame.objects.items()
+            if inst.uid not in private_alloca_uids
+        }
+        # Pointer-typed arguments alias caller-owned storage the parent
+        # also shares; their writes must flow back too.
+        args_before = {
+            index: list(value[0])
+            for index, value in enumerate(frame.args)
+            if isinstance(value, tuple) and len(value) == 2
+        }
+
+        shim = _WorkerInterpreter(
+            payload["module"], global_storage, payload["max_steps"]
+        )
+        start = time.perf_counter()
+        shim.run_chunk(loop, frame, payload["iterations"], _NullLocks())
+        seconds = time.perf_counter() - start
+
+        global_diffs = []
+        for name, before in globals_before.items():
+            after = global_storage[name]
+            for slot, value in enumerate(after):
+                if value != before[slot]:
+                    global_diffs.append((name, slot, value))
+        alloca_diffs = []
+        for inst, before in allocas_before.items():
+            after = frame.objects[inst]
+            for slot, value in enumerate(after):
+                if value != before[slot]:
+                    alloca_diffs.append((inst.uid, slot, value))
+        arg_diffs = []
+        for index, before in args_before.items():
+            after = frame.args[index][0]
+            for slot, value in enumerate(after):
+                if value != before[slot]:
+                    arg_diffs.append((index, slot, value))
+
+        return {
+            "steps": shim.steps,
+            "output": shim.output,
+            "seconds": seconds,
+            "global_diffs": global_diffs,
+            "alloca_diffs": alloca_diffs,
+            "arg_diffs": arg_diffs,
+            "global_privates": {
+                name: list(frame.global_overlay[name])
+                for name in private_globals
+            },
+            "alloca_privates": {
+                inst.uid: list(storage)
+                for inst, storage in frame.objects.items()
+                if inst.uid in private_alloca_uids
+            },
+        }
+    except BaseException as exc:  # report, never poison the pool
+        return {"error": f"{type(exc).__name__}: {exc}"}
+
+
+class ProcessesBackend(ExecutionBackend):
+    """One OS process per worker; serialized frames; diff-merged state."""
+
+    name = "processes"
+
+    def run_region(self, interp, region):
+        # Critical/atomic regions need shared memory: delegate the whole
+        # region to the threads backend (real locks) and record that.
+        critical_blocks = interp._critical_regions
+        if any(block.name in critical_blocks for block in region.loop.blocks):
+            ThreadsBackend().run_region(interp, region)
+            region.backend_used = f"{self.name}->threads(critical)"
+            return
+        region.backend_used = self.name
+
+        active = [w for w in region.workers if w.iterations]
+        if not active:
+            return
+        pool = _chunk_pool()
+        submitted = []
+        for worker in active:
+            payload = pickle.dumps({
+                "module": interp.module,
+                "frame": worker.frame,
+                "loop": region.loop,
+                "global_storage": interp._global_storage,
+                "max_steps": interp.max_steps,
+                "iterations": worker.iterations,
+                "private_globals": worker.private_globals,
+                "private_alloca_uids": {
+                    inst.uid for inst in worker.private_allocas
+                },
+            })
+            submitted.append(
+                (worker, pool.submit(_pool_chunk_entry, payload))
+            )
+
+        shared_allocas = {
+            inst.uid: storage
+            for inst, storage in region.frame.objects.items()
+        }
+        failure = None
+        allowance = _region_allowance(interp.max_steps)
+        deadline = time.monotonic() + allowance  # for the whole region
+        for worker, future in submitted:  # worker order: deterministic
+            try:
+                result = future.result(
+                    timeout=max(0.0, deadline - time.monotonic())
+                )
+            except concurrent.futures.process.BrokenProcessPool as exc:
+                _reset_chunk_pool()
+                failure = failure or EmulationError(
+                    f"worker process {worker.index} died: {exc}"
+                )
+                continue
+            except concurrent.futures.TimeoutError:
+                # The child is stuck mid-chunk; abandoning it would leave
+                # it occupying a slot of the shared pool forever.
+                for _w, pending in submitted:
+                    pending.cancel()
+                _reset_chunk_pool(kill=True)
+                failure = failure or EmulationError(
+                    f"worker process {worker.index} timed out after "
+                    f"{allowance:.0f}s"
+                )
+                continue
+            except concurrent.futures.CancelledError:
+                # Cancelled while draining after a timeout above; the
+                # recorded failure is the one to surface.
+                failure = failure or EmulationError(
+                    f"worker process {worker.index} was cancelled"
+                )
+                continue
+            if failure is not None:
+                continue
+            if "error" in result:
+                failure = EmulationError(
+                    f"worker process {worker.index} failed: "
+                    f"{result['error']}"
+                )
+                continue
+            self._apply(interp, region, worker, result, shared_allocas)
+        if failure is not None:
+            raise failure
+
+    def _apply(self, interp, region, worker, result, shared_allocas):
+        worker.steps = result["steps"]
+        worker.seconds = result["seconds"]
+        interp.steps += result["steps"]
+        interp.output.extend(result["output"])
+        # Shared-memory effects, applied in worker order (deterministic;
+        # a correct DOALL's shared writes are disjoint across workers).
+        for name, slot, value in result["global_diffs"]:
+            interp._effective_global(region.frame, name)[slot] = value
+        for uid, slot, value in result["alloca_diffs"]:
+            storage = shared_allocas.get(uid)
+            if storage is not None:
+                storage[slot] = value
+        for index, slot, value in result["arg_diffs"]:
+            pointer = region.frame.args[index]
+            if isinstance(pointer, tuple) and len(pointer) == 2:
+                pointer[0][slot] = value
+        # Private copies: write the child's final values back into the
+        # parent-side worker frame so the generic join sees them.
+        for name, values in result["global_privates"].items():
+            worker.frame.global_overlay[name][:] = values
+        for uid, values in result["alloca_privates"].items():
+            for inst, storage in worker.frame.objects.items():
+                if inst.uid == uid:
+                    storage[:] = values
+                    break
+
+
+BACKENDS = {
+    backend.name: backend
+    for backend in (SimulatedBackend, ThreadsBackend, ProcessesBackend)
+}
+
+
+def backend_names():
+    return sorted(BACKENDS)
+
+
+def get_backend(backend):
+    """An :class:`ExecutionBackend` for a name (or pass an instance through)."""
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if backend not in BACKENDS:
+        raise PlanError(
+            f"unknown execution backend {backend!r}; "
+            f"choose from {backend_names()}"
+        )
+    return BACKENDS[backend]()

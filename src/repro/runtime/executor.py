@@ -1,35 +1,49 @@
-"""Simulated parallel runtime: execute DOALL plans on virtual threads.
+"""Parallel runtime: execute DOALL plans on pluggable backends.
 
 The paper's evaluation characterizes plans analytically; this module goes
-one step further and *runs* them, so the repository can test that a plan
-chosen via the PS-PDG is semantics-preserving.  It is a deterministic
-simulation of a multicore: a planned DOALL loop's iterations are chunked
-over W virtual workers whose instruction streams are interleaved by a
-seeded scheduler, with
+further and *runs* them.  A :class:`ParallelInterpreter` executes the
+program sequentially until control reaches a planned DOALL loop, then
 
-* per-worker private copies of the induction variable and every variable
-  the parallelization privatizes,
-* reduction variables initialized to the operator identity per worker and
-  merged (in worker order, deterministically) at the join,
-* firstprivate copies seeded from the shared value, lastprivate written
-  back by the worker that executed the final iteration,
-* locks for critical/atomic regions (same-name criticals share a lock),
+1. evaluates the canonical iteration space,
+2. partitions it with a :class:`~repro.runtime.schedulers.ChunkScheduler`
+   (static / dynamic / guided — decided once, shared by every backend),
+3. builds one privatized frame per worker, with
 
-so data races that a *wrong* plan would introduce show up as real
-nondeterminism across scheduler seeds, while correct plans produce exactly
-the sequential result (modulo floating-point reduction reassociation).
+   * per-worker private copies of the induction variable and every
+     variable the parallelization privatizes,
+   * reduction variables initialized to the operator identity per worker
+     and merged (in worker order, deterministically) at the join,
+   * firstprivate copies seeded from the shared value, lastprivate
+     written back by the worker that executed the final iteration,
+   * locks for critical/atomic regions (same-name criticals share one),
+
+4. hands the region to an :class:`~repro.runtime.backends
+   .ExecutionBackend` — ``simulated`` (the seeded virtual-thread
+   interleaver: the race-detection oracle), ``threads`` (real OS
+   threads, shared storage, real locks), or ``processes`` (real OS
+   processes with per-worker frame serialization and diff-merged shared
+   state), and
+5. joins: merges reductions in worker order and writes back lastprivate
+   values, recording per-worker timing for ``session.diagnostics``.
+
+Data races that a *wrong* plan would introduce show up under the
+``simulated`` backend as real nondeterminism across scheduler seeds,
+while correct plans produce exactly the sequential result (modulo
+floating-point reduction reassociation).
 """
 
 import dataclasses
-import random
+import time
 
-from repro.analysis.deptests import loop_iv_range
+from repro.analysis.deptests import loop_iv_range  # noqa: F401 (re-export)
 from repro.analysis.loops import find_natural_loops
-from repro.analysis.reductions import REDUCIBLE_OPS
+from repro.analysis.reductions import REDUCIBLE_OPS  # noqa: F401 (re-export)
 from repro.emulator.interp import Interpreter, _Frame
 from repro.ir.instructions import Terminator
 from repro.ir.types import FLOAT
-from repro.ir.values import GlobalVariable
+from repro.ir.values import Argument, GlobalVariable
+from repro.runtime.backends import ParallelRegion, get_backend
+from repro.runtime.schedulers import make_scheduler
 from repro.util.errors import EmulationError, PlanError
 
 _IDENTITY = {
@@ -55,7 +69,7 @@ class LoopParallelization:
         lastprivate: storages whose final-iteration private value is
             written back at the join.
         reductions: list of (storage, op-name) merged at the join.
-        chunk: static chunk size (iterations per contiguous chunk).
+        chunk: scheduler chunk size (iterations per contiguous chunk).
     """
 
     header: str
@@ -85,15 +99,206 @@ def parallelization_from_annotation(annotation, function):
     return recipe
 
 
-def parallelization_from_pspdg(pspdg, loop):
+# -- PS-PDG -> runtime recipe ---------------------------------------------------
+#
+# The PS-PDG says which variables *may* be privatized or reduced in a
+# loop's context; the runtime must decide what each planned loop actually
+# *needs* so that discarding private copies never loses state the
+# sequential program observes.  (The differential conformance suite caught
+# exactly this on IS: eagerly privatizing the threadprivate buffer ``prv``
+# in every planned loop dropped the ranking counts that the sequential
+# prefix-sum loop reads afterwards.)
+
+
+def _storage_object(alias, storage):
+    if isinstance(storage, GlobalVariable):
+        return alias.object_for_global(storage)
+    if isinstance(storage, Argument):
+        return alias.object_for_argument(storage)
+    return alias.object_for_alloca(storage)
+
+
+def _same_pointer(a, b):
+    """Symbolically the same address within one iteration.
+
+    Loads and stores of ``p[k] = p[k] op e`` go through *distinct* GEP
+    instructions; they denote the same slot when their base and index
+    chains are the same SSA values (or equal constants).
+    """
+    from repro.ir.instructions import GetElementPtr
+
+    if a is b:
+        return True
+    if isinstance(a, GetElementPtr) and isinstance(b, GetElementPtr):
+        return _same_pointer(a.pointer, b.pointer) and _same_index(
+            a.index, b.index
+        )
+    return False
+
+
+def _same_index(a, b):
+    """Same index value: one SSA value, equal constants, or re-loads of
+    one address with no store in between (lowering re-evaluates ``k`` for
+    each subscript of ``p[k] = p[k] op e``)."""
+    from repro.ir.instructions import Load, Store
+    from repro.ir.values import Constant
+
+    if a is b:
+        return True
+    if isinstance(a, Constant) and isinstance(b, Constant):
+        return a.value == b.value
+    if (
+        isinstance(a, Load)
+        and isinstance(b, Load)
+        and a.parent is b.parent
+        and _same_pointer(a.pointer, b.pointer)
+    ):
+        span = []
+        seen_first = False
+        for inst in a.parent.instructions:
+            if inst is a or inst is b:
+                if seen_first:
+                    break
+                seen_first = True
+            elif seen_first:
+                span.append(inst)
+        return not any(
+            isinstance(inst, Store) and _same_pointer(inst.pointer, a.pointer)
+            for inst in span
+        )
+    return False
+
+
+def _update_reduction_op(in_loop_accesses):
+    """The single reducible op updating this object, or None.
+
+    Matches ``p[idx] = p[idx] op expr`` (any operand order, same slot,
+    same block) for *every* access to the object inside the loop — the
+    array generalization of scalar-reduction recognition.  Such updates
+    commute across iterations, so per-worker identity-seeded copies
+    merged at the join preserve the sequential result.
+    """
+    from repro.analysis.reductions import _depends_on
+    from repro.ir.instructions import BinaryOp, Load, Store
+
+    loads = {
+        a.instruction
+        for a in in_loop_accesses
+        if isinstance(a.instruction, Load)
+    }
+    stores = [
+        a.instruction
+        for a in in_loop_accesses
+        if isinstance(a.instruction, Store)
+    ]
+    if not stores or len(loads) + len(stores) != len(in_loop_accesses):
+        return None  # a call (or unknown access) touches the object
+    ops = set()
+    matched = set()
+    for store in stores:
+        update = store.value
+        if not isinstance(update, BinaryOp) or update.op not in _IDENTITY:
+            return None
+        if isinstance(update.lhs, Load) and _same_pointer(
+            update.lhs.pointer, store.pointer
+        ):
+            load, other = update.lhs, update.rhs
+        elif isinstance(update.rhs, Load) and _same_pointer(
+            update.rhs.pointer, store.pointer
+        ):
+            load, other = update.rhs, update.lhs
+        else:
+            return None
+        if load not in loads or load.parent is not store.parent:
+            return None
+        if _depends_on(other, load):
+            return None
+        ops.add(update.op)
+        matched.add(load)
+    if matched != loads or len(ops) != 1:
+        return None
+    return next(iter(ops))
+
+
+class _RecipeAnalyses:
+    """Per-function analysis state shared by recipe derivations."""
+
+    def __init__(self, function, module):
+        from repro.analysis.alias import AliasAnalysis
+        from repro.analysis.memdep import collect_accesses
+
+        self.function = function
+        self.module = module
+        self.alias = AliasAnalysis(module)
+        self.accesses = collect_accesses(function, self.alias)
+        self._by_object = {}
+        for access in self.accesses:
+            self._by_object.setdefault(access.obj, []).append(access)
+        self._memdep = None
+
+    def accesses_for(self, storage, loop):
+        obj = _storage_object(self.alias, storage)
+        return [
+            access
+            for access in self._by_object.get(obj, [])
+            if access.instruction.parent in loop.blocks
+        ]
+
+    def live_out(self, loop):
+        from repro.analysis.liveness import live_out_objects
+
+        return set(
+            live_out_objects(
+                self.function, self.module, loop, self.alias, self.accesses
+            )
+        )
+
+    def carried_at(self, storage, loop):
+        """Does ``loop`` carry a memory dependence on this storage?"""
+        if self._memdep is None:
+            from repro.analysis.memdep import MemoryDependenceAnalysis
+
+            self._memdep = MemoryDependenceAnalysis(
+                self.function, self.module, self.alias
+            ).run()
+        obj = _storage_object(self.alias, storage)
+        # memdep discovered its own Loop instances: match by header name.
+        header = loop.header.name
+        return any(
+            edge.obj == obj
+            and any(
+                carried.header.name == header
+                for carried in edge.carried_loops
+            )
+            for edge in self._memdep
+        )
+
+
+def parallelization_from_pspdg(pspdg, loop, module, analyses=None):
     """Build an execution recipe from the PS-PDG's variables for a loop.
 
-    Privatizable variables in the loop's context get private copies;
-    reducible ones get identity-initialized copies merged at the join.
+    For each variable the PS-PDG places in the loop's context chain:
+
+    * context-reducible variables are merged as reductions;
+    * variables not live-out of the loop get discardable private copies;
+    * live-out variables whose only in-loop accesses are commutative
+      ``x = x op e`` updates are reduced (identity-seeded, join-merged);
+    * live-out variables with no loop-carried dependence stay shared —
+      their per-iteration writes are disjoint, so shared storage
+      reproduces the sequential state exactly;
+    * remaining live-out variables (per-iteration scratch with a carried
+      WAW/WAR) are privatized with firstprivate seeding and lastprivate
+      write-back: the final iteration's state is the sequential one.
+
+    In every case a plan the planner should not have chosen stays
+    detectable: the ``simulated`` oracle exposes residual races as
+    cross-seed nondeterminism.
     """
     from repro.core.builder import loop_context_label
     from repro.frontend.directives import REDUCTION_OPS
 
+    if analyses is None:
+        analyses = _RecipeAnalyses(loop.header.parent, module)
     label = loop_context_label(loop.header.name)
     chain = set(pspdg.context_chain(label))
     # Worksharing annotations on this loop contribute their uid contexts.
@@ -102,8 +307,19 @@ def parallelization_from_pspdg(pspdg, loop):
             chain.add(annotation.uid)
 
     recipe = LoopParallelization(header=loop.header.name)
+    live_out = None
+    seen = set()
     for variable in pspdg.variables:
         if variable.context not in chain:
+            continue
+        if id(variable.storage) in seen:
+            continue
+        seen.add(id(variable.storage))
+        if isinstance(variable.storage, Argument):
+            # The runtime cannot privatize argument-aliased storage
+            # (no allocated_type, and frame.args pointers would keep
+            # aiming at the shared object): leave it shared; the
+            # simulated oracle exposes plans that needed more.
             continue
         if variable.is_reducible():
             recipe.reductions.append(
@@ -111,13 +327,35 @@ def parallelization_from_pspdg(pspdg, loop):
                     variable.reducer_op, variable.reducer_op
                 ))
             )
-        else:
+            continue
+        in_loop = analyses.accesses_for(variable.storage, loop)
+        if not any(access.is_write for access in in_loop):
+            continue  # read-only here: keep it shared
+        if live_out is None:
+            live_out = analyses.live_out(loop)
+        obj = _storage_object(analyses.alias, variable.storage)
+        if obj not in live_out:
             recipe.privatized.append(variable.storage)
+            continue
+        op = _update_reduction_op(in_loop)
+        if op is not None:
+            # Identity-seeded per-worker copies merged at the join are
+            # correct whether or not iterations actually collide, so
+            # this outranks the (sequential, symbol-level) carried test —
+            # which calls ``p[k] op= e`` with an indirect ``k`` distance-0.
+            recipe.reductions.append((variable.storage, op))
+            continue
+        if not analyses.carried_at(variable.storage, loop):
+            # Iteration-disjoint accesses (e.g. ``p[i] = 0``): shared
+            # storage reproduces the sequential state exactly.
+            continue
+        recipe.firstprivate.append(variable.storage)
+        recipe.lastprivate.append(variable.storage)
     return recipe
 
 
 class _Worker:
-    """One virtual thread executing a chunk of the iteration space."""
+    """One worker executing a chunk of the iteration space."""
 
     __slots__ = (
         "index",
@@ -130,6 +368,10 @@ class _Worker:
         "waiting_for",
         "held",
         "last_value",
+        "steps",
+        "seconds",
+        "private_globals",
+        "private_allocas",
     )
 
     def __init__(self, index, iterations, frame):
@@ -143,19 +385,49 @@ class _Worker:
         self.waiting_for = None  # lock name when blocked
         self.held = set()
         self.last_value = None
+        self.steps = 0
+        self.seconds = 0.0
+        self.private_globals = set()  # privatized global names
+        self.private_allocas = set()  # privatized Alloca instructions
 
 
 class ParallelInterpreter(Interpreter):
-    """Interpreter that executes selected loops on simulated workers."""
+    """Interpreter that executes selected loops on a pluggable backend."""
 
     def __init__(self, module, parallelizations, workers=4, seed=0,
-                 max_steps=50_000_000):
+                 max_steps=50_000_000, backend="simulated",
+                 schedule="static", chunk=None):
         super().__init__(module, max_steps)
+        if (
+            not isinstance(workers, int)
+            or isinstance(workers, bool)
+            or workers < 1
+        ):
+            raise PlanError(
+                f"workers must be a positive integer, got {workers!r}"
+            )
         self.workers = workers
         self.seed = seed
+        self.backend = get_backend(backend)
+        self.schedule = schedule
+        self.chunk = chunk
         self._recipes = {p.header: p for p in parallelizations}
+        for recipe in parallelizations:
+            # Fail fast: a zero/negative chunk must be a PlanError, not an
+            # empty (or runaway) partition at execution time.
+            make_scheduler(schedule, chunk if chunk is not None
+                           else recipe.chunk)
+        if not parallelizations:
+            make_scheduler(schedule, chunk)  # still validate the names
         self._locks = {}  # lock key -> worker index or None
         self._loops_by_function = {}
+        self.parallel_regions = []  # per-region stats, in execution order
+
+    def run(self, function_name="main", args=(), profiler=None):
+        self.parallel_regions = []
+        result = super().run(function_name, args, profiler)
+        result.parallel_regions = list(self.parallel_regions)
+        return result
 
     # -- loop takeover ---------------------------------------------------------
 
@@ -192,23 +464,44 @@ class ParallelInterpreter(Interpreter):
             raise PlanError("parallel loops require a positive step")
         values = list(range(lower, upper, step))
 
-        chunks = [
-            values[i : i + recipe.chunk]
-            for i in range(0, len(values), recipe.chunk)
-        ]
-        assignment = [[] for _ in range(self.workers)]
-        for chunk_index, chunk in enumerate(chunks):
-            assignment[chunk_index % self.workers].extend(chunk)
+        chunk = self.chunk if self.chunk is not None else recipe.chunk
+        scheduler = make_scheduler(self.schedule, chunk)
+        assignment = scheduler.partition(values, self.workers)
 
         workers = []
         for index in range(self.workers):
-            worker_frame = self._make_worker_frame(frame, recipe, loop)
-            workers.append(_Worker(index, assignment[index], worker_frame))
+            worker = _Worker(index, assignment[index], None)
+            self._make_worker_frame(worker, frame, recipe, loop)
+            workers.append(worker)
 
-        self._run_workers(workers, loop, frame)
+        region = ParallelRegion(
+            loop=loop, recipe=recipe, frame=frame, workers=workers
+        )
+        self._critical_regions = self._critical_region_map(frame.function)
+        started = time.perf_counter()
+        self.backend.run_region(self, region)
+        elapsed = time.perf_counter() - started
         self._join(workers, recipe, frame, values)
+        self.parallel_regions.append({
+            "header": recipe.header,
+            "backend": region.backend_used or self.backend.name,
+            "schedule": self.schedule,
+            "workers": self.workers,
+            "chunk": chunk,
+            "iterations": len(values),
+            "seconds": elapsed,
+            "per_worker": [
+                {
+                    "worker": worker.index,
+                    "iterations": len(worker.iterations),
+                    "steps": worker.steps,
+                    "seconds": worker.seconds,
+                }
+                for worker in workers
+            ],
+        })
 
-    def _make_worker_frame(self, frame, recipe, loop):
+    def _make_worker_frame(self, worker, frame, recipe, loop):
         worker_frame = _Frame(frame.function, frame.args)
         worker_frame.registers = dict(frame.registers)
         worker_frame.objects = frame.objects  # shared by default
@@ -217,17 +510,21 @@ class ParallelInterpreter(Interpreter):
         # Private copies (fresh, firstprivate-seeded, or identity-seeded).
         private_objects = {}
         storage_remap = {}  # id(shared list) -> private list
+        privatized_ids = set()
 
         def privatize(storage, seed_values):
+            if id(storage) in privatized_ids:
+                return
+            privatized_ids.add(id(storage))
             private = list(seed_values)
             if isinstance(storage, GlobalVariable):
-                shared = frame.global_overlay.get(
-                    storage.name
-                ) or self._global_storage[storage.name]
+                shared = self._effective_global(frame, storage.name)
                 worker_frame.global_overlay[storage.name] = private
+                worker.private_globals.add(storage.name)
             else:
                 shared = frame.objects.get(storage)
                 private_objects[storage] = private
+                worker.private_allocas.add(storage)
             if shared is not None:
                 storage_remap[id(shared)] = private
 
@@ -237,11 +534,13 @@ class ParallelInterpreter(Interpreter):
             privatize(storage, self._zeros_for(storage))
         for storage in recipe.firstprivate:
             privatize(storage, self._current_values(storage, frame))
-        for storage in recipe.lastprivate:
-            privatize(storage, self._zeros_for(storage))
         for storage, op in recipe.reductions:
             identity = self._identity_values(storage, op)
             privatize(storage, identity)
+        for storage in recipe.lastprivate:
+            # Already-private storages (e.g. firstprivate-seeded scratch)
+            # keep their seed; plain lastprivate starts zeroed.
+            privatize(storage, self._zeros_for(storage))
 
         if private_objects:
             # Copy-on-write object table: private entries shadow shared.
@@ -263,6 +562,7 @@ class ParallelInterpreter(Interpreter):
                     storage_remap[id(value[0])],
                     value[1],
                 )
+        worker.frame = worker_frame
         return worker_frame
 
     def _zeros_for(self, storage):
@@ -272,8 +572,7 @@ class ParallelInterpreter(Interpreter):
 
     def _current_values(self, storage, frame):
         if isinstance(storage, GlobalVariable):
-            return list(frame.global_overlay.get(storage.name)
-                        or self._global_storage[storage.name])
+            return list(self._effective_global(frame, storage.name))
         if storage in frame.objects:
             return list(frame.objects[storage])
         return self._zeros_for(storage)
@@ -294,11 +593,12 @@ class ParallelInterpreter(Interpreter):
             identity = float(identity)
         return [identity] * value_type.slots()
 
-    # -- scheduling -----------------------------------------------------------
+    # -- simulated scheduling (the interleaving oracle) -------------------------
 
     def _run_workers(self, workers, loop, frame):
+        import random
+
         rng = random.Random(self.seed)
-        self._critical_regions = self._critical_region_map(frame.function)
         runnable = [w for w in workers if not w.done]
         for worker in runnable:
             self._start_next_iteration(worker, loop)
@@ -359,6 +659,7 @@ class ParallelInterpreter(Interpreter):
             raise EmulationError(f"worker fell off block {block.name}")
         inst = block.instructions[worker.position]
         self.steps += 1
+        worker.steps += 1
         if self.steps > self.max_steps:
             raise EmulationError("parallel execution exceeded max_steps")
 
@@ -445,12 +746,16 @@ class ParallelInterpreter(Interpreter):
                 private = self._private_storage(owner, storage)
                 shared[:] = private
 
+    def _effective_global(self, frame, name):
+        """The storage a global's name denotes in ``frame`` (overlay-aware)."""
+        overlay = frame.global_overlay.get(name)
+        if overlay is not None:
+            return overlay
+        return self._global_storage[name]
+
     def _shared_storage(self, storage, frame):
         if isinstance(storage, GlobalVariable):
-            return (
-                frame.global_overlay.get(storage.name)
-                or self._global_storage[storage.name]
-            )
+            return self._effective_global(frame, storage.name)
         return frame.objects[storage]
 
     def _private_storage(self, worker, storage):
@@ -483,10 +788,19 @@ def run_parallel(
     function_name="main",
     workers=4,
     seed=0,
+    backend="simulated",
+    schedule="static",
+    chunk=None,
 ):
     """Execute ``function_name`` with the given loop parallelizations."""
     interpreter = ParallelInterpreter(
-        module, parallelizations, workers=workers, seed=seed
+        module,
+        parallelizations,
+        workers=workers,
+        seed=seed,
+        backend=backend,
+        schedule=schedule,
+        chunk=chunk,
     )
     return interpreter.run(function_name)
 
@@ -494,7 +808,7 @@ def run_parallel(
 def recipes_from_plan(module, pspdg, plan, function):
     """Execution recipes for every executable DOALL loop of ``plan``.
 
-    Only canonical-form DOALL loops run on the simulated machine (HELIX/
+    Only canonical-form DOALL loops run on the parallel machine (HELIX/
     DSWP are analytical-only in this repository); loops nested inside
     another planned DOALL loop are skipped — the outer takeover already
     executes them.
@@ -518,6 +832,7 @@ def recipes_from_plan(module, pspdg, plan, function):
             parent = parent.parent
         return False
 
+    analyses = _RecipeAnalyses(function, module)
     recipes = []
     for header, loop_plan in sorted(plan.loop_plans.items()):
         if loop_plan.technique != TECH_DOALL:
@@ -527,11 +842,14 @@ def recipes_from_plan(module, pspdg, plan, function):
             continue
         if inside_planned_parent(loop):
             continue
-        recipes.append(parallelization_from_pspdg(pspdg, loop))
+        recipes.append(
+            parallelization_from_pspdg(pspdg, loop, module, analyses)
+        )
     return recipes
 
 
-def run_plan(module, pspdg, plan, function_name="main", workers=4, seed=0):
+def run_plan(module, pspdg, plan, function_name="main", workers=4, seed=0,
+             backend="simulated", schedule="static", chunk=None):
     """Execute a :class:`ProgramPlan` chosen from the PS-PDG.
 
     This is the runtime entry point :meth:`repro.Session.run` uses: the
@@ -540,10 +858,12 @@ def run_plan(module, pspdg, plan, function_name="main", workers=4, seed=0):
     """
     function = module.function(function_name)
     recipes = recipes_from_plan(module, pspdg, plan, function)
-    return run_parallel(module, recipes, function_name, workers, seed)
+    return run_parallel(module, recipes, function_name, workers, seed,
+                        backend, schedule, chunk)
 
 
-def run_source_plan(module, function_name="main", workers=4, seed=0):
+def run_source_plan(module, function_name="main", workers=4, seed=0,
+                    backend="simulated", schedule="static", chunk=None):
     """Execute the developer's OpenMP plan (all worksharing annotations)."""
     function = module.function(function_name)
     recipes = []
@@ -555,4 +875,5 @@ def run_source_plan(module, function_name="main", workers=4, seed=0):
             recipes.append(
                 parallelization_from_annotation(annotation, function)
             )
-    return run_parallel(module, recipes, function_name, workers, seed)
+    return run_parallel(module, recipes, function_name, workers, seed,
+                        backend, schedule, chunk)

@@ -314,31 +314,47 @@ class Session:
 
     # -- execution -------------------------------------------------------------
 
-    def run(self, plan=None, workers=None, seed=None):
-        """Execute the program under ``plan`` on the simulated machine.
+    def run(self, plan=None, workers=None, seed=None, backend=None,
+            schedule=None, chunk=None):
+        """Execute the program under ``plan`` on a parallel backend.
 
         ``plan`` may be a :class:`ProgramPlan`, an abstraction name
         (planned on demand), or ``None``/"source" for the developer's
-        OpenMP plan.
+        OpenMP plan.  ``backend`` ("simulated" | "threads" |
+        "processes"), ``schedule`` ("static" | "dynamic" | "guided"),
+        ``workers``, ``seed``, and ``chunk`` default to the session
+        config.  Per-region, per-worker timing is recorded in
+        ``self.diagnostics`` (see ``diagnostics.parallel_report()``).
         """
         from repro.runtime.executor import run_plan, run_source_plan
 
         workers = workers if workers is not None else self.config.workers
         seed = seed if seed is not None else self.config.seed
+        backend = backend if backend is not None else self.config.backend
+        schedule = schedule if schedule is not None else self.config.schedule
+        chunk = chunk if chunk is not None else self.config.chunk
         if plan is None or plan in ("source", "OpenMP"):
-            return run_source_plan(
-                self.module, self.config.function_name, workers, seed
+            result = run_source_plan(
+                self.module, self.config.function_name, workers, seed,
+                backend, schedule, chunk,
             )
-        if isinstance(plan, str):
-            plan = self.plan(plan)
-        return run_plan(
-            self.module,
-            self.pspdg,
-            plan,
-            self.config.function_name,
-            workers,
-            seed,
-        )
+        else:
+            if isinstance(plan, str):
+                plan = self.plan(plan)
+            result = run_plan(
+                self.module,
+                self.pspdg,
+                plan,
+                self.config.function_name,
+                workers,
+                seed,
+                backend,
+                schedule,
+                chunk,
+            )
+        for region in result.parallel_regions:
+            self.diagnostics.record_parallel(region)
+        return result
 
     # -- ablation / canonical form --------------------------------------------
 

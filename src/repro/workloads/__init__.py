@@ -1,7 +1,12 @@
 """repro.workloads — evaluation programs: NAS mini-kernels + Fig 11 gallery."""
 
 from repro.workloads import nas
-from repro.workloads.nas import KERNELS, build_kernel, kernel_names
+from repro.workloads.nas import (
+    KERNELS,
+    build_kernel,
+    build_session,
+    kernel_names,
+)
 from repro.workloads.necessity import (
     PAIRS,
     NecessityPair,
@@ -14,6 +19,7 @@ __all__ = [
     "nas",
     "KERNELS",
     "build_kernel",
+    "build_session",
     "kernel_names",
     "PAIRS",
     "NecessityPair",

@@ -33,5 +33,16 @@ def build_kernel(name):
     return KERNELS[name].build_module()
 
 
+def build_session(name, **overrides):
+    """A :class:`repro.Session` over one kernel (backend/schedule/...
+
+    overrides flow into the session config — e.g.
+    ``build_session("EP", backend="processes", workers=8)``).
+    """
+    from repro.session import Session
+
+    return Session.from_kernel(name, **overrides)
+
+
 def kernel_source(name):
     return KERNELS[name].SOURCE

@@ -1,8 +1,17 @@
 """Shared fixtures and helpers for the test suite."""
 
+import os
+import sys
+
 import pytest
 
 from repro.frontend import compile_source
+
+# Make the shared helper package (tests/support) importable from every
+# test module regardless of which directory pytest rooted it in.
+_TESTS_DIR = os.path.dirname(os.path.abspath(__file__))
+if _TESTS_DIR not in sys.path:
+    sys.path.insert(0, _TESTS_DIR)
 
 
 @pytest.fixture

@@ -1,0 +1,160 @@
+"""Adversarial plans: the conformance harness must be able to *fail*.
+
+Each test hand-builds a deliberately wrong :class:`LoopParallelization`
+(missing privatization, missing reduction, racy lastprivate, unseeded
+firstprivate) and runs it under the ``simulated`` oracle across seeds.
+A wrong plan must either raise (a detected fault) or diverge from the
+sequential output on at least one seed — the same comparator the
+conformance suite uses.  Control cases check that the *correct* recipe
+for each program never diverges, so a failure here means the oracle has
+lost its teeth, not that the programs are broken.
+"""
+
+from repro.emulator import run_module
+from repro.frontend import compile_source
+from repro.runtime import (
+    LoopParallelization,
+    parallelization_from_annotation,
+    run_parallel,
+)
+from repro.util.errors import ReproError
+from support.conformance import outputs_close
+
+SEEDS = range(10)
+WORKERS = 4
+
+MISSING_REDUCTION = """
+func main() {
+  var s: int = 0;
+  pragma omp parallel_for reduction(+: s)
+  for i in 0..64 {
+    s = s + i;
+  }
+  print(s);
+}
+"""
+
+MISSING_PRIVATIZATION = """
+global v: int[64];
+
+func main() {
+  var t: int[8];
+  pragma omp parallel_for private(t)
+  for p in 0..8 {
+    for j in 0..8 { t[j] = p * 8 + j; }
+    for j in 0..8 { v[p * 8 + j] = t[j] * 2; }
+  }
+  print(v[0], v[31], v[63]);
+}
+"""
+
+RACY_LASTPRIVATE = """
+global a: int[16];
+
+func main() {
+  var v: int = 0;
+  for i in 0..16 { a[i] = i * 3; }
+  pragma omp parallel_for lastprivate(v)
+  for j in 0..16 {
+    v = a[j];
+  }
+  print(v);
+}
+"""
+
+UNSEEDED_FIRSTPRIVATE = """
+global a: int[16];
+
+func main() {
+  var seed: int = 5;
+  pragma omp parallel_for firstprivate(seed)
+  for i in 0..16 {
+    a[i] = seed + i;
+  }
+  print(a[0], a[15]);
+}
+"""
+
+
+def _loop_header(function):
+    return next(
+        a.loop_header
+        for a in function.annotations
+        if a.loop_header is not None
+    )
+
+
+def _divergences(source, recipe_builder, seeds=SEEDS, workers=WORKERS):
+    """How many seeds produce a fault or a non-sequential result."""
+    expected = run_module(compile_source(source)).output
+    count = 0
+    for seed in seeds:
+        module = compile_source(source)
+        recipes = recipe_builder(module)
+        try:
+            result = run_parallel(
+                module, recipes, workers=workers, seed=seed
+            )
+        except ReproError:
+            count += 1  # a detected fault is a caught wrong plan
+            continue
+        if not outputs_close(result.output, expected):
+            count += 1
+    return count
+
+
+def _correct_recipes(module):
+    function = module.function("main")
+    return [
+        parallelization_from_annotation(annotation, function)
+        for annotation in function.annotations
+        if annotation.directive.declares_loop_independence()
+        and annotation.loop_header is not None
+    ]
+
+
+def _bare_recipe(module):
+    """The wrong plan: parallelize with no data-sharing clauses at all."""
+    return [LoopParallelization(header=_loop_header(module.function("main")))]
+
+
+class TestWrongPlansAreCaught:
+    def test_missing_reduction_diverges(self):
+        assert _divergences(MISSING_REDUCTION, _bare_recipe) > 0
+
+    def test_missing_privatization_diverges(self):
+        assert _divergences(MISSING_PRIVATIZATION, _bare_recipe) > 0
+
+    def test_racy_lastprivate_diverges(self):
+        assert _divergences(RACY_LASTPRIVATE, _bare_recipe) > 0
+
+    def test_unseeded_firstprivate_diverges_every_seed(self):
+        def zero_seeded(module):
+            function = module.function("main")
+            header = _loop_header(function)
+            annotation = next(
+                a for a in function.annotations if a.loop_header == header
+            )
+            storage = annotation.binding("seed")
+            # Privatized but *not* seeded from the shared value: every
+            # worker computes from 0 instead of 5, deterministically wrong.
+            return [
+                LoopParallelization(header=header, privatized=[storage])
+            ]
+
+        assert _divergences(UNSEEDED_FIRSTPRIVATE, zero_seeded) == len(
+            list(SEEDS)
+        )
+
+
+class TestCorrectPlansAreNotFlagged:
+    """The oracle's teeth cut the right way: correct recipes never diverge."""
+
+    def test_correct_recipes_conform(self):
+        for source in (
+            MISSING_REDUCTION,
+            MISSING_PRIVATIZATION,
+            RACY_LASTPRIVATE,
+            UNSEEDED_FIRSTPRIVATE,
+        ):
+            assert _divergences(source, _correct_recipes) == 0

@@ -1,0 +1,105 @@
+"""Differential conformance: every backend vs the sequential emulator.
+
+For every NAS workload, the PS-PDG-chosen plan's DOALL loops run under
+all three execution backends x {1, 2, 4, 8} workers x {static, dynamic,
+guided} schedules x 3 seeds, and every run must reproduce the sequential
+emulator's output — bitwise for ints, :func:`math.isclose` for float
+reductions (per-worker partial results may reassociate).
+
+The ``simulated`` backend is the race-detection oracle (seeds change the
+interleaving); for ``threads``/``processes`` the seeds are independent
+retrials, and because partitioning and merge order are deterministic,
+those retrials must also agree bit-for-bit *with each other*.
+"""
+
+import pytest
+
+from repro.runtime import run_plan, run_source_plan
+from repro.workloads import kernel_names
+from repro.workloads.nas import build_session
+from support.conformance import describe_mismatch, outputs_close
+
+BACKENDS = ("simulated", "threads", "processes")
+SCHEDULES = ("static", "dynamic", "guided")
+WORKER_COUNTS = (1, 2, 4, 8)
+SEEDS = (0, 1, 2)
+
+
+@pytest.fixture(scope="module")
+def kernel_state():
+    """Per kernel: (session, PS-PDG plan, sequential output) — built once."""
+    state = {}
+    for name in kernel_names():
+        session = build_session(name)
+        state[name] = (session, session.plan("PS-PDG"),
+                       session.execution.output)
+    return state
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("schedule", SCHEDULES)
+@pytest.mark.parametrize("kernel", kernel_names())
+def test_planned_loops_match_sequential(kernel, schedule, backend,
+                                        kernel_state):
+    session, plan, expected = kernel_state[kernel]
+    for workers in WORKER_COUNTS:
+        retrials = []
+        for seed in SEEDS:
+            result = run_plan(
+                session.module,
+                session.pspdg,
+                plan,
+                workers=workers,
+                seed=seed,
+                backend=backend,
+                schedule=schedule,
+            )
+            assert outputs_close(result.output, expected), (
+                f"{kernel} {backend}/{schedule} workers={workers} "
+                f"seed={seed}: "
+                + describe_mismatch(result.output, expected)
+            )
+            retrials.append(result.output)
+        if backend != "simulated":
+            # Deterministic partition + worker-order merge: real-backend
+            # retrials agree exactly, including float bit patterns.
+            assert all(out == retrials[0] for out in retrials), (
+                f"{kernel} {backend}/{schedule} workers={workers}: "
+                f"nondeterministic across retrials: {retrials}"
+            )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_source_plans_match_sequential(backend, kernel_state):
+    """The developer's OpenMP plan also conforms on every backend."""
+    for kernel in kernel_names():
+        session, _plan, expected = kernel_state[kernel]
+        for workers in (2, 4):
+            result = run_source_plan(
+                session.module,
+                session.config.function_name,
+                workers=workers,
+                seed=1,
+                backend=backend,
+            )
+            assert outputs_close(result.output, expected), (
+                f"{kernel} source-plan {backend} workers={workers}: "
+                + describe_mismatch(result.output, expected)
+            )
+
+
+def test_per_worker_diagnostics_recorded(kernel_state):
+    """Runs surface per-region, per-worker timing via the session."""
+    session, plan, _expected = kernel_state["EP"]
+    result = session.run(plan, workers=4, backend="threads")
+    assert result.parallel_regions, "no region stats recorded"
+    region = result.parallel_regions[0]
+    assert region["backend"] == "threads"
+    assert region["workers"] == 4
+    assert len(region["per_worker"]) == 4
+    assert sum(w["iterations"] for w in region["per_worker"]) == (
+        region["iterations"]
+    )
+    assert sum(w["steps"] for w in region["per_worker"]) > 0
+    assert session.diagnostics.parallel_regions  # mirrored for reports
+    assert "threads" in session.diagnostics.parallel_report()

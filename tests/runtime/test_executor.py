@@ -210,3 +210,347 @@ class TestPropertyRandomPrograms:
         fresh = compile_source(source)
         result = run_source_plan(fresh, workers=workers, seed=seed)
         assert result.formatted_output() == expected
+
+
+# -- validation, schedulers, and real backends (PR 2) --------------------------
+
+
+class TestValidation:
+    """workers/chunk misconfiguration must be a PlanError, not silence."""
+
+    def _module(self):
+        return compile_source(REDUCTION)
+
+    def test_workers_below_one_rejected(self):
+        from repro.util.errors import PlanError
+
+        for workers in (0, -1, -8):
+            with pytest.raises(PlanError, match="workers"):
+                run_source_plan(self._module(), workers=workers)
+
+    def test_workers_non_integer_rejected(self):
+        from repro.util.errors import PlanError
+
+        with pytest.raises(PlanError, match="workers"):
+            run_source_plan(self._module(), workers=2.5)
+
+    def test_zero_or_negative_chunk_rejected(self):
+        from repro.util.errors import PlanError
+
+        module = self._module()
+        function = module.function("main")
+        from repro.runtime import parallelization_from_annotation
+
+        for chunk in (0, -3):
+            recipe = parallelization_from_annotation(
+                function.annotations[0], function
+            )
+            recipe.chunk = chunk
+            with pytest.raises(PlanError, match="chunk"):
+                run_parallel(module, [recipe])
+
+    def test_chunk_override_validated(self):
+        from repro.util.errors import PlanError
+
+        with pytest.raises(PlanError, match="chunk"):
+            run_source_plan(self._module(), chunk=0)
+
+    def test_unknown_backend_and_schedule_rejected(self):
+        from repro.util.errors import PlanError
+
+        with pytest.raises(PlanError, match="backend"):
+            run_source_plan(self._module(), backend="gpu")
+        with pytest.raises(PlanError, match="schedule"):
+            run_source_plan(self._module(), schedule="fractal")
+
+
+class TestChunkSchedulers:
+    def test_every_schedule_partitions_exactly(self):
+        from repro.runtime import make_scheduler
+
+        for name in ("static", "dynamic", "guided"):
+            for n in (0, 1, 7, 64, 513):
+                for workers in (1, 2, 3, 8):
+                    for chunk in (None, 1, 4):
+                        parts = make_scheduler(name, chunk).partition(
+                            range(n), workers
+                        )
+                        assert len(parts) == workers
+                        flat = sorted(v for p in parts for v in p)
+                        assert flat == list(range(n)), (
+                            name, n, workers, chunk
+                        )
+
+    def test_partition_is_deterministic(self):
+        from repro.runtime import make_scheduler
+
+        for name in ("static", "dynamic", "guided"):
+            a = make_scheduler(name, 2).partition(range(100), 4)
+            b = make_scheduler(name, 2).partition(range(100), 4)
+            assert a == b
+
+    def test_static_is_round_robin(self):
+        from repro.runtime import StaticScheduler
+
+        parts = StaticScheduler(1).partition(range(8), 4)
+        assert parts == [[0, 4], [1, 5], [2, 6], [3, 7]]
+        parts = StaticScheduler(2).partition(range(8), 2)
+        assert parts == [[0, 1, 4, 5], [2, 3, 6, 7]]
+
+    def test_guided_chunks_shrink(self):
+        from repro.runtime import GuidedScheduler
+
+        sizes = [
+            len(chunk)
+            for _worker, chunk in GuidedScheduler()._deal(
+                list(range(512)), 4
+            )
+        ]
+        assert sizes[0] == 64  # 512 // (2*4)
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+        assert sizes[-1] == 1
+
+    def test_dynamic_balances_uneven_tails(self):
+        from repro.runtime import DynamicScheduler
+
+        parts = DynamicScheduler(5).partition(range(13), 3)
+        loads = sorted(len(p) for p in parts)
+        assert loads == [3, 5, 5]
+
+    def test_worker_validation(self):
+        from repro.runtime import make_scheduler
+        from repro.util.errors import PlanError
+
+        with pytest.raises(PlanError, match="workers"):
+            make_scheduler("static").partition(range(4), 0)
+
+
+class TestRealBackends:
+    """threads/processes execute the same recipes as the oracle."""
+
+    SOURCES = (
+        REDUCTION,
+        CRITICAL_HISTOGRAM,
+        LASTPRIVATE,
+        FIRSTPRIVATE,
+        PRIVATE_ARRAY,
+    )
+
+    @pytest.mark.parametrize("backend", ("threads", "processes"))
+    def test_source_plans_match_sequential(self, backend):
+        for source in self.SOURCES:
+            module = compile_source(source)
+            expected = run_module(module).formatted_output()
+            for workers in (1, 3):
+                for schedule in ("static", "dynamic", "guided"):
+                    result = run_source_plan(
+                        compile_source(source),
+                        workers=workers,
+                        backend=backend,
+                        schedule=schedule,
+                    )
+                    assert result.formatted_output() == expected, (
+                        source, backend, workers, schedule
+                    )
+
+    def test_processes_criticals_fall_back_to_threads(self):
+        module = compile_source(CRITICAL_HISTOGRAM)
+        result = run_source_plan(module, workers=2, backend="processes")
+        [region] = result.parallel_regions
+        assert region["backend"] == "processes->threads(critical)"
+
+    def test_worker_process_failure_is_reported(self):
+        from repro.util.errors import EmulationError
+
+        source = """
+        global a: int[4];
+        func main() {
+          var j: int = 0;
+          pragma omp parallel_for
+          for i in 0..8 {
+            j = i % 5;
+            a[j] = 1;
+          }
+          print(a[0]);
+        }
+        """
+        # Index 4 is out of bounds for int[4]: the child process hits an
+        # EmulationError and the parent must surface it, not hang.
+        with pytest.raises(EmulationError, match="worker process"):
+            run_source_plan(
+                compile_source(source), workers=2, backend="processes"
+            )
+
+    def test_backend_instances_accepted(self):
+        from repro.runtime import ThreadsBackend, get_backend
+
+        backend = get_backend(ThreadsBackend())
+        assert backend.name == "threads"
+        module = compile_source(REDUCTION)
+        expected = run_module(module).formatted_output()
+        result = run_source_plan(compile_source(REDUCTION), backend=backend)
+        assert result.formatted_output() == expected
+
+
+SCRATCH_THREADPRIVATE = """
+global out: int[8];
+global scratch: int[4];
+pragma omp threadprivate(scratch)
+
+func main() {
+  pragma omp parallel_for
+  for i in 0..8 {
+    for j in 0..4 { scratch[j] = i + j; }
+    var acc: int = 0;
+    for j in 0..4 { acc = acc + scratch[j]; }
+    out[i] = acc;
+  }
+  print(out[0], out[7], scratch[0], scratch[3]);
+}
+"""
+
+MINMAX_FLOAT_REDUCTION = """
+func main() {
+  var lo: float = 1000.0;
+  var hi: float = 0.0 - 1000.0;
+  var total: float = 0.0;
+  pragma omp parallel_for reduction(min: lo) reduction(max: hi) reduction(+: total)
+  for i in 0..32 {
+    var x: float = float((i * 37) % 19) - 9.0;
+    if (x < lo) { lo = x; }
+    if (x > hi) { hi = x; }
+    total = total + x;
+  }
+  print(lo, hi, total);
+}
+"""
+
+
+class TestRecipeClassification:
+    """PS-PDG variables become the recipe role the runtime needs."""
+
+    def test_live_out_scratch_gets_seeded_lastprivate(self):
+        from repro.core import build_pspdg
+        from repro.analysis import find_natural_loops
+        from repro.runtime import parallelization_from_pspdg
+
+        module = compile_source(SCRATCH_THREADPRIVATE)
+        function = module.function("main")
+        graph = build_pspdg(function, module)
+        loop = next(
+            l
+            for l in find_natural_loops(function)
+            if any(
+                a.loop_header == l.header.name
+                for a in function.annotations
+            )
+        )
+        recipe = parallelization_from_pspdg(graph, loop, module)
+        names = lambda items: {
+            getattr(s, "var_name", None) or getattr(s, "name", None)
+            for s in items
+        }
+        assert "scratch" in names(recipe.firstprivate)
+        assert "scratch" in names(recipe.lastprivate)
+
+    @pytest.mark.parametrize("backend", ("simulated", "threads", "processes"))
+    def test_scratch_recipe_execution_conforms(self, backend):
+        from repro.core import build_pspdg
+        from repro.analysis import find_natural_loops
+        from repro.runtime import parallelization_from_pspdg
+
+        expected = run_module(
+            compile_source(SCRATCH_THREADPRIVATE)
+        ).formatted_output()
+        module = compile_source(SCRATCH_THREADPRIVATE)
+        function = module.function("main")
+        graph = build_pspdg(function, module)
+        loop = next(
+            l
+            for l in find_natural_loops(function)
+            if any(
+                a.loop_header == l.header.name
+                for a in function.annotations
+            )
+        )
+        recipe = parallelization_from_pspdg(graph, loop, module)
+        result = run_parallel(module, [recipe], workers=3, backend=backend)
+        assert result.formatted_output() == expected, backend
+
+
+class TestReductionMergeOps:
+    @pytest.mark.parametrize("backend", ("simulated", "threads", "processes"))
+    def test_min_max_float_reductions(self, backend):
+        expected = run_module(
+            compile_source(MINMAX_FLOAT_REDUCTION)
+        ).formatted_output()
+        result = run_source_plan(
+            compile_source(MINMAX_FLOAT_REDUCTION),
+            workers=4,
+            backend=backend,
+        )
+        assert result.formatted_output() == expected, backend
+
+    def test_merge_table_is_total(self):
+        from repro.runtime import ParallelInterpreter
+        from repro.util.errors import PlanError
+
+        merge = ParallelInterpreter._merge
+        assert merge("add", 2, 3) == 5
+        assert merge("mul", 2, 3) == 6
+        assert merge("min", 2, 3) == 2
+        assert merge("max", 2, 3) == 3
+        assert merge("and", 6, 3) == 2
+        assert merge("or", 6, 3) == 7
+        assert merge("xor", 6, 3) == 5
+        with pytest.raises(PlanError, match="unknown reduction"):
+            merge("div", 1, 2)
+
+    def test_unknown_identity_rejected(self):
+        from repro.util.errors import PlanError
+
+        module = compile_source(REDUCTION)
+        function = module.function("main")
+        from repro.runtime import parallelization_from_annotation
+
+        recipe = parallelization_from_annotation(
+            function.annotations[0], function
+        )
+        recipe.reductions = [(recipe.reductions[0][0], "nand")]
+        with pytest.raises(PlanError, match="identity"):
+            run_parallel(module, [recipe])
+
+
+CALLEE_ARG_LOOP = """
+func fill(p: int[16], base: int) {
+  pragma omp parallel_for
+  for i in 0..16 {
+    p[i] = base + i;
+  }
+}
+
+func main() {
+  var local: int[16];
+  fill(local, 10);
+  print(local[0], local[15]);
+}
+"""
+
+
+class TestArgumentPointerWriteback:
+    """A DOALL loop in a callee writing through a pointer argument.
+
+    The caller-local array is reachable only via ``frame.args`` inside
+    the parallelized function, so the processes backend must diff and
+    write back argument-aliased storage, not just globals and allocas.
+    """
+
+    @pytest.mark.parametrize("backend", ("simulated", "threads", "processes"))
+    def test_callee_arg_stores_flow_back(self, backend):
+        expected = run_module(
+            compile_source(CALLEE_ARG_LOOP)
+        ).formatted_output()
+        result = run_source_plan(
+            compile_source(CALLEE_ARG_LOOP), workers=3, backend=backend
+        )
+        assert result.formatted_output() == expected, backend

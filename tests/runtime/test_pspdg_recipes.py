@@ -44,7 +44,7 @@ def test_pspdg_recipe_includes_declared_variables():
             a.loop_header == loop.header.name for a in function.annotations
         )
     )
-    recipe = parallelization_from_pspdg(graph, annotated)
+    recipe = parallelization_from_pspdg(graph, annotated, module)
     privatized_names = {
         getattr(s, "var_name", None) or getattr(s, "name", None)
         for s in recipe.privatized
@@ -73,6 +73,6 @@ def test_pspdg_recipe_execution_matches_sequential():
                 for a in function.annotations
             )
         )
-        recipe = parallelization_from_pspdg(graph, annotated)
+        recipe = parallelization_from_pspdg(graph, annotated, fresh)
         result = run_parallel(fresh, [recipe], workers=4, seed=seed)
         assert result.formatted_output() == expected, f"seed={seed}"

@@ -1,0 +1,1 @@
+"""Shared test-support helpers (conformance comparison, program generator)."""

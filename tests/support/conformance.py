@@ -1,0 +1,37 @@
+"""Output comparison for the differential conformance suite.
+
+Backends may reassociate floating-point reductions (per-worker partial
+sums merged in worker order), so float values compare with
+:func:`math.isclose`; everything else — labels, shapes, ints, bools —
+must be bitwise equal.
+"""
+
+import math
+
+REL_TOL = 1e-9
+ABS_TOL = 1e-12
+
+
+def values_close(a, b):
+    if isinstance(a, float) or isinstance(b, float):
+        if isinstance(a, bool) or isinstance(b, bool):
+            return a == b
+        return math.isclose(a, b, rel_tol=REL_TOL, abs_tol=ABS_TOL)
+    return a == b
+
+
+def outputs_close(actual, expected):
+    """True when two interpreter ``output`` lists agree (floats: isclose)."""
+    if len(actual) != len(expected):
+        return False
+    for (label_a, values_a), (label_b, values_b) in zip(actual, expected):
+        if label_a != label_b or len(values_a) != len(values_b):
+            return False
+        for value_a, value_b in zip(values_a, values_b):
+            if not values_close(value_a, value_b):
+                return False
+    return True
+
+
+def describe_mismatch(actual, expected):
+    return f"parallel output {actual!r} != sequential output {expected!r}"

@@ -1,0 +1,175 @@
+"""Seeded random MiniOMP program generator for property tests.
+
+Generates small, always-terminating programs — straight-line loop nests
+over bounded iteration spaces with worksharing directives (reduction /
+private / schedule clauses) — so that pipeline properties can be checked
+over hundreds of cases without hand-writing them:
+
+* parse -> print -> parse round-trips are stable,
+* ``Session.plan()`` never crashes,
+* every generated program interprets deterministically.
+
+All randomness flows from one :class:`random.Random` seeded by the
+caller, so failures reproduce from their case number alone.
+"""
+
+import random
+
+_MAX_GLOBALS = 2
+_MAX_SCALARS = 3
+_MAX_LOOPS = 3
+_MAX_BODY_STATEMENTS = 3
+_ARRAY_SIZES = (8, 16)
+_TRIP_COUNTS = (4, 6, 8, 12)
+
+
+class _Generator:
+    def __init__(self, rng):
+        self.rng = rng
+        self.globals = []  # (name, size)
+        self.scalars = []  # scalar int vars declared before the loops
+        self.counter = 0
+
+    def fresh(self, prefix):
+        self.counter += 1
+        return f"{prefix}{self.counter}"
+
+    # -- expressions (always non-negative ints) -----------------------------
+
+    def expr(self, loop_var, depth=0, exclude=()):
+        rng = self.rng
+        readable = [s for s in self.scalars if s not in exclude]
+        choices = ["literal", "loop_var"]
+        if readable:
+            choices.append("scalar")
+        if depth < 2:
+            choices += ["add", "mul", "mod"]
+        kind = rng.choice(choices)
+        if kind == "literal":
+            return str(rng.randrange(0, 10))
+        if kind == "loop_var":
+            return loop_var
+        if kind == "scalar":
+            return rng.choice(readable)
+        a = self.expr(loop_var, depth + 1, exclude)
+        b = self.expr(loop_var, depth + 1, exclude)
+        if kind == "add":
+            return f"({a} + {b})"
+        if kind == "mul":
+            return f"({a} * {b})"
+        return f"({a} % {rng.randrange(2, 16)})"
+
+    def index(self, loop_var, size):
+        return f"(({self.expr(loop_var)}) % {size})"
+
+    # -- statements ----------------------------------------------------------
+    #
+    # Annotated (workshared) loops must be *honestly* parallel: the
+    # PS-PDG trusts declared semantics, so a generated ``parallel_for``
+    # whose body races (self-referential "reduction" updates, colliding
+    # array writes, shared scalar stores) would make the chosen plan
+    # legitimately diverge.  Sequential loops keep full generality.
+
+    def body_statement(self, loop_var, reduction_var, annotated):
+        rng = self.rng
+        exclude = (reduction_var,) if annotated and reduction_var else ()
+        kinds = []
+        if self.globals:
+            kinds.append("array_store")
+        if reduction_var is not None:
+            kinds.append("reduce")
+        if self.scalars and not annotated:
+            kinds.append("scalar_store")
+        if not kinds:
+            kinds = ["noop_temp"]
+        kind = rng.choice(kinds)
+        if kind == "array_store":
+            name, size = rng.choice(self.globals)
+            if annotated:
+                # Disjoint per-iteration slot: index by the loop var
+                # (trip counts are clamped to the array size).
+                index = loop_var
+            else:
+                index = self.index(loop_var, size)
+            return (
+                f"    {name}[{index}] = "
+                f"{self.expr(loop_var, exclude=exclude)};"
+            )
+        if kind == "reduce":
+            return (
+                f"    {reduction_var} = {reduction_var} + "
+                f"{self.expr(loop_var, exclude=exclude)};"
+            )
+        if kind == "scalar_store":
+            target = rng.choice(self.scalars)
+            return f"    {target} = {self.expr(loop_var)};"
+        temp = self.fresh("t")
+        return (
+            f"    var {temp}: int = "
+            f"{self.expr(loop_var, exclude=exclude)};"
+        )
+
+    def loop(self):
+        rng = self.rng
+        loop_var = self.fresh("i")
+        annotated = rng.random() < 0.6
+        if annotated:
+            bound = min((size for _name, size in self.globals),
+                        default=max(_TRIP_COUNTS))
+            trips = rng.choice([t for t in _TRIP_COUNTS if t <= bound])
+        else:
+            trips = rng.choice(_TRIP_COUNTS)
+        lines = []
+        reduction_var = None
+        if annotated:
+            clauses = []
+            if self.scalars and rng.random() < 0.7:
+                reduction_var = rng.choice(self.scalars)
+                clauses.append(f"reduction(+: {reduction_var})")
+            if rng.random() < 0.3:
+                chunk = rng.randrange(1, 5)
+                clauses.append(f"schedule(static, {chunk})")
+            rendered = (" " + " ".join(clauses)) if clauses else ""
+            lines.append(f"  pragma omp parallel_for{rendered}")
+        lines.append(f"  for {loop_var} in 0..{trips} {{")
+        for _ in range(rng.randrange(1, _MAX_BODY_STATEMENTS + 1)):
+            lines.append(
+                self.body_statement(loop_var, reduction_var, annotated)
+            )
+        lines.append("  }")
+        return lines
+
+    # -- whole programs -------------------------------------------------------
+
+    def program(self):
+        rng = self.rng
+        lines = []
+        for _ in range(rng.randrange(0, _MAX_GLOBALS + 1)):
+            name = self.fresh("g")
+            size = rng.choice(_ARRAY_SIZES)
+            self.globals.append((name, size))
+            lines.append(f"global {name}: int[{size}];")
+        lines.append("func main() {")
+        for _ in range(rng.randrange(1, _MAX_SCALARS + 1)):
+            name = self.fresh("s")
+            self.scalars.append(name)
+            lines.append(f"  var {name}: int = {rng.randrange(0, 10)};")
+        for _ in range(rng.randrange(1, _MAX_LOOPS + 1)):
+            lines.extend(self.loop())
+        observed = list(self.scalars)
+        for name, size in self.globals:
+            observed.append(f"{name}[0]")
+            observed.append(f"{name}[{size - 1}]")
+        lines.append(f'  print("observed", {", ".join(observed)});')
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+
+def generate_program(seed):
+    """One deterministic MiniOMP program for ``seed``."""
+    return _Generator(random.Random(seed)).program()
+
+
+def generate_programs(count, base_seed=0):
+    """``count`` deterministic programs, seeds ``base_seed..+count``."""
+    return [generate_program(base_seed + i) for i in range(count)]
