@@ -39,6 +39,7 @@ import warnings as _warnings
 
 from repro.core import build_pspdg
 from repro.emulator import run_module, run_source
+from repro.opt import OptLevel, optimize_plan
 from repro.pdg import build_pdg
 from repro.pipeline import Diagnostics, PipelineCache, SessionConfig
 from repro.planner import (
@@ -72,6 +73,8 @@ __all__ = [
     "SessionConfig",
     "Diagnostics",
     "PipelineCache",
+    "OptLevel",
+    "optimize_plan",
     "build_pspdg",
     "build_pdg",
     "compile_source",

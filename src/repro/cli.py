@@ -53,6 +53,8 @@ def _build_session(program, args):
         overrides["schedule"] = args.schedule
     if getattr(args, "chunk", None) is not None:
         overrides["chunk"] = args.chunk
+    if getattr(args, "opt", None) is not None:
+        overrides["opt_level"] = args.opt
 
     path = pathlib.Path(program)
     if path.exists():
@@ -99,9 +101,12 @@ def _cmd_plan(args):
         speedup = entry["speedup"]
         ratio = f"{speedup:7.3f}x" if speedup else "   --   "
         print(f"  {name:10} CP={entry['critical_path']:>9}  {ratio}")
-    plan = session.plan(args.abstraction)
+    plan = session.optimized_plan(args.abstraction)
     print()
     print(plan.describe())
+    if session.config.opt_level:
+        print()
+        print(session.optimization(args.abstraction).report.describe())
     if args.diagnostics:
         print()
         print(session.describe())
@@ -163,6 +168,24 @@ def _cmd_report(args):
             f"{results['PS-PDG']['speedup']:>9.3f}"
         )
 
+    print()
+    level = sessions[0].config.opt_level if sessions else 0
+    print(f"Optimization summary at -O{int(level)} (PS-PDG plan)")
+    header = (
+        f"{'bench':8} {'regions':>8} {'fused':>6} {'sync-rm':>8} "
+        f"{'serial':>7}"
+    )
+    print(header)
+    print("-" * len(header))
+    for session in sessions:
+        result = session.optimization("PS-PDG")
+        summary = result.report.summary()
+        print(
+            f"{session.config.name:8} {len(result.plan.regions):>8} "
+            f"{summary['fused']:>6} {summary['syncs_removed']:>8} "
+            f"{summary['serialized']:>7}"
+        )
+
     if args.diagnostics:
         for session in sessions:
             print()
@@ -171,6 +194,15 @@ def _cmd_report(args):
 
 
 # -- argument parsing ----------------------------------------------------------
+
+
+def _add_opt_argument(parser):
+    parser.add_argument(
+        "-O", "--opt", type=int, choices=(0, 1, 2), default=None,
+        help="optimization level: -O0 none, -O1 sync elimination + "
+             "small-region serialization, -O2 adds parallel-region "
+             "fusion (default: 0)",
+    )
 
 
 def _add_machine_arguments(parser):
@@ -218,6 +250,7 @@ def build_parser():
         "--diagnostics", action="store_true",
         help="print the per-stage time/stats table",
     )
+    _add_opt_argument(p_plan)
     _add_machine_arguments(p_plan)
     p_plan.set_defaults(func=_cmd_plan)
 
@@ -256,6 +289,7 @@ def build_parser():
         "--diagnostics", action="store_true",
         help="print the per-region, per-worker execution table",
     )
+    _add_opt_argument(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_report = sub.add_parser(
@@ -267,6 +301,7 @@ def build_parser():
     )
     p_report.add_argument("--function", default=None)
     p_report.add_argument("--diagnostics", action="store_true")
+    _add_opt_argument(p_report)
     _add_machine_arguments(p_report)
     p_report.set_defaults(func=_cmd_report)
 

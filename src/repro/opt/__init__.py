@@ -1,0 +1,52 @@
+"""Optimization passes over (PS-PDG, ProgramPlan): the ``-O`` pipeline.
+
+The paper positions the PS-PDG as a representation *for parallel
+optimization*; this package is where the reproduction actually rewrites
+plans instead of only reading the graph.  Three passes, all legality-
+checked against the sequential PDG:
+
+* :class:`~repro.opt.fusion.RegionFusionPass` — adjacent compatible
+  DOALL loops become one dispatched region (one process-pool payload
+  instead of several), with their privatization/reduction sets unified;
+* :class:`~repro.opt.sync.SyncEliminationPass` — ``critical``/``atomic``
+  locks whose guarded objects have no cross-worker dependence at the
+  loop level are elided;
+* :class:`~repro.opt.serialize.SmallRegionSerializationPass` — regions
+  below the machine model's cost thresholds fall back to sequential or
+  ``threads`` execution instead of paying process-pool pickling.
+
+Entry point: :func:`optimize_plan`; levels: :class:`OptLevel`.
+"""
+
+from repro.opt.context import OptContext
+from repro.opt.fusion import RegionFusionPass
+from repro.opt.legality import can_fuse, sync_is_redundant
+from repro.opt.levels import OptLevel
+from repro.opt.manager import (
+    PIPELINES,
+    OptimizationResult,
+    OptReport,
+    PassManager,
+    optimize_plan,
+    passes_for,
+    seed_regions,
+)
+from repro.opt.serialize import SmallRegionSerializationPass
+from repro.opt.sync import SyncEliminationPass
+
+__all__ = [
+    "OptContext",
+    "OptLevel",
+    "OptReport",
+    "OptimizationResult",
+    "PassManager",
+    "PIPELINES",
+    "RegionFusionPass",
+    "SmallRegionSerializationPass",
+    "SyncEliminationPass",
+    "can_fuse",
+    "optimize_plan",
+    "passes_for",
+    "seed_regions",
+    "sync_is_redundant",
+]

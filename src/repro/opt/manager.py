@@ -1,0 +1,116 @@
+"""The pass manager: ``-O`` levels over (PS-PDG, ProgramPlan).
+
+``optimize_plan`` is the single entry point: it seeds the plan's region
+descriptors (one per executable DOALL loop — byte-for-byte the runtime's
+historical dispatch set, so ``-O0`` is exactly the legacy behavior),
+then runs the level's pass pipeline, each pass rewriting the region list
+under the legality predicates of :mod:`repro.opt.legality`.  The result
+carries both the rewritten plan and an :class:`OptReport` the CLI's
+``report`` subcommand and the test suite consume.
+"""
+
+import dataclasses
+
+from repro.opt.context import OptContext
+from repro.opt.fusion import RegionFusionPass
+from repro.opt.levels import OptLevel
+from repro.opt.serialize import SmallRegionSerializationPass
+from repro.opt.sync import SyncEliminationPass
+from repro.planner.machine import DEFAULT_MACHINE
+from repro.planner.plans import RegionDescriptor
+
+
+@dataclasses.dataclass
+class OptReport:
+    """What the pipeline did (and refused to do) to one plan."""
+
+    level: OptLevel
+    plan_name: str
+    fused: list = dataclasses.field(default_factory=list)
+    syncs_removed: list = dataclasses.field(default_factory=list)
+    serialized: list = dataclasses.field(default_factory=list)
+    rejected: list = dataclasses.field(default_factory=list)
+
+    def summary(self):
+        return {
+            "fused": len(self.fused),
+            "syncs_removed": len(self.syncs_removed),
+            "serialized": len(self.serialized),
+        }
+
+    def rejections_for(self, pass_name):
+        return [entry for entry in self.rejected if entry[0] == pass_name]
+
+    def describe(self):
+        lines = [f"{self.level.flag} optimization of plan {self.plan_name!r}:"]
+        for headers in self.fused:
+            lines.append(f"  fused      {'+'.join(headers)}")
+        for header, kind, uid in self.syncs_removed:
+            lines.append(f"  sync-drop  {kind} @{header} (annotation {uid})")
+        for label, cost, override in self.serialized:
+            lines.append(f"  serialize  {label} cost={cost} -> {override}")
+        for pass_name, subject, reason in self.rejected:
+            lines.append(f"  rejected   [{pass_name}] {subject}: {reason}")
+        if len(lines) == 1:
+            lines.append("  (no transforms applied)")
+        return "\n".join(lines)
+
+
+class PassManager:
+    """Runs a pass pipeline over one plan within one context."""
+
+    def __init__(self, passes):
+        self.passes = tuple(passes)
+
+    def run(self, ctx, plan, report):
+        for pass_ in self.passes:
+            plan = pass_.run(ctx, plan, report)
+        return plan
+
+
+#: Pass pipeline per level.  O1 is the "local" tier (nothing moves code
+#: across loops); O2 adds region fusion.  Fusion runs first so merged
+#: regions are costed — and kept parallel — as wholes.
+PIPELINES = {
+    OptLevel.O0: (),
+    OptLevel.O1: (SyncEliminationPass, SmallRegionSerializationPass),
+    OptLevel.O2: (
+        RegionFusionPass,
+        SyncEliminationPass,
+        SmallRegionSerializationPass,
+    ),
+}
+
+
+def passes_for(level):
+    return tuple(pass_cls() for pass_cls in PIPELINES[OptLevel.coerce(level)])
+
+
+def seed_regions(ctx, plan):
+    """One single-loop descriptor per executable DOALL loop (CFG order)."""
+    return plan.with_regions(
+        RegionDescriptor(headers=(header,))
+        for header in ctx.executable_doall_headers(plan)
+    )
+
+
+@dataclasses.dataclass
+class OptimizationResult:
+    """An optimized plan plus the report of how it got that way."""
+
+    plan: object
+    report: OptReport
+    level: OptLevel
+
+
+def optimize_plan(
+    function, module, pdg, pspdg, plan, level, machine=None, loops=None
+):
+    """Run the ``level`` pipeline over ``plan``; never mutates the input."""
+    level = OptLevel.coerce(level)
+    machine = machine if machine is not None else DEFAULT_MACHINE
+    ctx = OptContext(function, module, pdg, pspdg, loops, machine)
+    report = OptReport(level=level, plan_name=plan.name)
+    seeded = seed_regions(ctx, plan)
+    optimized = PassManager(passes_for(level)).run(ctx, seeded, report)
+    return OptimizationResult(plan=optimized, report=report, level=level)

@@ -1,0 +1,41 @@
+"""Small-region serialization.
+
+Dispatching a parallel region is not free — worker frames, partitioning,
+and (on the ``processes`` backend) pickling the module plus per-worker
+state.  A region whose statically estimated per-entry cost is below the
+machine model's thresholds is rebound: below ``serial_region_cost`` it
+is not dispatched at all (the sequential interpreter just runs the
+loop); below ``threads_region_cost`` it still runs in parallel but never
+on the process pool.  This is exactly the LU fix from the roadmap: the
+wavefront's 18-iteration inner loops stop paying a process-pool payload
+per anti-diagonal per timestep.
+"""
+
+import dataclasses
+
+from repro.opt.cost import region_cost
+from repro.planner.plans import OVERRIDE_SEQUENTIAL, OVERRIDE_THREADS
+
+
+class SmallRegionSerializationPass:
+    name = "small-region-serialization"
+
+    def run(self, ctx, plan, report):
+        machine = ctx.machine
+        regions = []
+        for region in plan.regions:
+            cost = region_cost(ctx, region.headers)
+            override = None
+            if cost is not None:
+                if cost < machine.serial_region_cost:
+                    override = OVERRIDE_SEQUENTIAL
+                elif cost < machine.threads_region_cost:
+                    override = OVERRIDE_THREADS
+            if override is None:
+                regions.append(region)
+                continue
+            report.serialized.append((region.label, cost, override))
+            regions.append(
+                dataclasses.replace(region, backend_override=override)
+            )
+        return plan.with_regions(regions)

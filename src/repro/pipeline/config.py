@@ -11,6 +11,7 @@ share stale artifacts.
 
 import dataclasses
 
+from repro.opt.levels import OptLevel
 from repro.planner.machine import DEFAULT_MACHINE, MachineModel
 
 #: Dependence abstractions the evaluation compares (paper §6.2).
@@ -45,6 +46,11 @@ class SessionConfig:
             ``"guided"`` (partitioning is shared by all backends).
         chunk: chunk-size override; ``None`` uses each loop recipe's own
             chunk (source ``schedule(..., n)`` clause, default 1).
+        opt_level: :class:`~repro.opt.levels.OptLevel` of the pipeline's
+            ``optimize`` stage — ``O0`` (plans run as chosen), ``O1``
+            (sync elimination + small-region serialization), ``O2``
+            (``O1`` + parallel-region fusion).  Accepts 0/1/2, "O2",
+            or "-O2".
     """
 
     name: str = "session"
@@ -60,6 +66,7 @@ class SessionConfig:
     backend: str = "simulated"
     schedule: str = "static"
     chunk: int | None = None
+    opt_level: OptLevel = OptLevel.O0
 
     def __post_init__(self):
         unknown = set(self.abstractions) - set(ALL_ABSTRACTIONS)
@@ -68,6 +75,11 @@ class SessionConfig:
                 f"unknown abstractions {sorted(unknown)}; "
                 f"choose from {ALL_ABSTRACTIONS}"
             )
+        # Normalize 2 / "2" / "O2" / "-O2" spellings up front so the
+        # config fingerprint (and with it every cache key) is stable.
+        level = OptLevel.coerce(self.opt_level)
+        if level is not self.opt_level:
+            object.__setattr__(self, "opt_level", level)
 
     def derive(self, **changes):
         """A copy of this config with ``changes`` applied."""

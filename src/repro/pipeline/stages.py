@@ -97,6 +97,67 @@ def _build_views(session):
     }
 
 
+def _build_optimize(session):
+    """Run the ``-O`` pass pipeline over every planned abstraction.
+
+    The artifact maps abstraction name -> :class:`OptimizationResult`
+    (rewritten plan + report).  Keyed by ``opt_level`` and ``machine``
+    (plus the planning fields), so flipping ``-O`` levels re-keys only
+    this stage and ``recipes`` — the parse/PDG/PS-PDG artifacts upstream
+    stay cached.
+    """
+    from repro.opt import optimize_plan
+
+    results = {}
+    for name, entry in session.critical_paths().items():
+        plan = entry.get("plan")
+        if plan is None:
+            continue
+        results[name] = optimize_plan(
+            session.function,
+            session.module,
+            session.pdg,
+            session.pspdg,
+            plan,
+            session.config.opt_level,
+            machine=session.config.machine,
+            loops=session.loops,
+        )
+    return results
+
+
+def _optimize_stats(results):
+    totals = {"fused": 0, "syncs_removed": 0, "serialized": 0}
+    for result in results.values():
+        for key, value in result.report.summary().items():
+            totals[key] += value
+    return totals
+
+
+def _build_recipes(session):
+    """Region execution recipes per abstraction, from the optimized plans."""
+    from repro.runtime.executor import recipes_from_plan
+
+    return {
+        name: recipes_from_plan(
+            session.module, session.pspdg, result.plan, session.function
+        )
+        for name, result in session.optimizations.items()
+    }
+
+
+def _recipes_stats(recipes):
+    return {
+        "regions": sum(len(regions) for regions in recipes.values()),
+        "fused": sum(
+            1
+            for regions in recipes.values()
+            for region in regions
+            if region.fused
+        ),
+    }
+
+
 STAGES = {
     stage.name: stage
     for stage in (
@@ -132,6 +193,22 @@ STAGES = {
             ("function", "pdg", "pspdg", "alias"),
             _build_views,
             lambda views: {"abstractions": ",".join(views)},
+        ),
+        # The ``-O`` pipeline: pass-rewritten plans, then the region
+        # recipes the runtime dispatches.  Builders additionally reach
+        # the planning query (``critical_paths``) through the session;
+        # its key fields are folded in via _STAGE_PARAMS["optimize"].
+        Stage(
+            "optimize",
+            ("function", "pdg", "pspdg", "loops"),
+            _build_optimize,
+            _optimize_stats,
+        ),
+        Stage(
+            "recipes",
+            ("optimize",),
+            _build_recipes,
+            _recipes_stats,
         ),
     )
 }

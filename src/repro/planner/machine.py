@@ -10,10 +10,21 @@ import dataclasses
 
 @dataclasses.dataclass(frozen=True)
 class MachineModel:
-    """Core count and the DOALL chunk sizes a plan may choose from."""
+    """Core count and the DOALL chunk sizes a plan may choose from.
+
+    The two cost thresholds drive the small-region serialization pass
+    (:mod:`repro.opt.serialize`): a parallel region whose statically
+    estimated dynamic cost (instructions executed per entry, inner trip
+    counts multiplied through) falls below ``serial_region_cost`` is not
+    worth any dispatch and runs sequentially; below
+    ``threads_region_cost`` it is worth threads but never worth
+    process-pool frame pickling.
+    """
 
     cores: int = 56
     chunk_sizes: tuple = (1, 2, 4, 8, 16, 32, 64, 128)
+    serial_region_cost: int = 512
+    threads_region_cost: int = 2048
 
     @property
     def chunk_choices(self):

@@ -5,6 +5,14 @@ DSWP, or sequential) together with the uid partitions the critical-path
 model needs: lock-serialized (orderless) work, sequential-segment work, and
 DSWP stage groups.  A :class:`ProgramPlan` maps loop headers to plans;
 unlisted loops run sequentially.
+
+A plan may additionally carry :class:`RegionDescriptor` entries — the
+unit the optimization passes (:mod:`repro.opt`) rewrite and the runtime
+dispatches.  A fresh plan has no regions; ``repro.opt.optimize_plan``
+seeds one region per executable DOALL loop and then fuses, strips
+redundant synchronization from, or serializes them.  The runtime's
+``recipes_from_plan`` honors ``plan.regions`` when present and falls
+back to the one-region-per-loop behavior otherwise.
 """
 
 import dataclasses
@@ -29,6 +37,50 @@ class LoopPlan:
     stage_groups: tuple = ()  # DSWP stages (uid frozensets)
 
 
+#: ``RegionDescriptor.backend_override`` values the runtime honors.
+OVERRIDE_SEQUENTIAL = "sequential"
+OVERRIDE_THREADS = "threads"
+
+
+@dataclasses.dataclass(frozen=True)
+class RegionDescriptor:
+    """One runtime dispatch unit: one or more fused DOALL loops.
+
+    Attributes:
+        headers: member loop headers in control-flow order (>= 1; more
+            than one after parallel-region fusion).
+        technique: the members' shared technique (currently DOALL only).
+        backend_override: ``None`` (run on the configured backend),
+            ``"sequential"`` (small-region serialization: the loop is not
+            dispatched at all and runs on the sequential interpreter), or
+            ``"threads"`` (dispatch, but never pay process-pool pickling).
+        removed_sync_uids: annotation uids of ``critical``/``atomic``
+            regions proven redundant at this region's loop level; the
+            runtime elides their locks.
+    """
+
+    headers: tuple
+    technique: str = TECH_DOALL
+    backend_override: str = None
+    removed_sync_uids: frozenset = frozenset()
+
+    @property
+    def fused(self):
+        return len(self.headers) > 1
+
+    @property
+    def label(self):
+        return "+".join(self.headers)
+
+    def describe(self):
+        parts = [self.label, self.technique]
+        if self.backend_override:
+            parts.append(f"->{self.backend_override}")
+        if self.removed_sync_uids:
+            parts.append(f"sync-removed={len(self.removed_sync_uids)}")
+        return " ".join(parts)
+
+
 @dataclasses.dataclass
 class ProgramPlan:
     """A full plan for one profiled function."""
@@ -36,20 +88,38 @@ class ProgramPlan:
     name: str
     loop_plans: dict  # header name -> LoopPlan
     loop_uids: dict  # header name -> frozenset of uids inside the loop
+    regions: tuple = ()  # RegionDescriptor dispatch units (opt output)
 
     def plan_for(self, header_name):
         return self.loop_plans.get(header_name)
 
     def with_loop_plan(self, header_name, loop_plan):
+        # Changing a loop's technique invalidates any derived regions.
         plans = dict(self.loop_plans)
         plans[header_name] = loop_plan
         return ProgramPlan(self.name, plans, self.loop_uids)
+
+    def with_regions(self, regions):
+        return ProgramPlan(
+            self.name, self.loop_plans, self.loop_uids, tuple(regions)
+        )
+
+    def region_for(self, header_name):
+        """The descriptor whose member set contains ``header_name``."""
+        for region in self.regions:
+            if header_name in region.headers:
+                return region
+        return None
 
     def describe(self):
         lines = [f"plan {self.name}:"]
         for header in sorted(self.loop_plans):
             plan = self.loop_plans[header]
             lines.append(f"  {header}: {plan.technique}")
+        if self.regions:
+            lines.append("  regions:")
+            for region in self.regions:
+                lines.append(f"    {region.describe()}")
         return "\n".join(lines)
 
 

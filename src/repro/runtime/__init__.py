@@ -20,6 +20,7 @@ from repro.runtime.backends import (
 from repro.runtime.executor import (
     LoopParallelization,
     ParallelInterpreter,
+    RegionParallelization,
     parallelization_from_annotation,
     parallelization_from_pspdg,
     recipes_from_plan,
@@ -46,6 +47,7 @@ __all__ = [
     "LoopParallelization",
     "ParallelInterpreter",
     "ProcessesBackend",
+    "RegionParallelization",
     "SCHEDULERS",
     "SimulatedBackend",
     "StaticScheduler",

@@ -60,13 +60,19 @@ def _region_allowance(max_steps):
 
 @dataclasses.dataclass
 class ParallelRegion:
-    """One planned loop's execution context, as handed to a backend."""
+    """One dispatched region's execution context, as handed to a backend.
 
-    loop: object  # NaturalLoop (canonical form guaranteed)
-    recipe: object  # LoopParallelization
+    Since the ``repro.opt`` pipeline a region may hold several *fused*
+    member loops; every worker's ``segments`` list its chunk of each
+    member in order.
+    """
+
+    loops: list  # member NaturalLoops (canonical form guaranteed)
+    region: object  # RegionParallelization (recipes + opt markers)
     frame: object  # the enclosing (sequential) _Frame
     workers: list  # _Worker instances, one per configured worker
     backend_used: str = None  # filled by the backend (fallbacks differ)
+    payloads: int = 0  # process-pool payloads dispatched (processes only)
 
 
 class ExecutionBackend:
@@ -202,7 +208,7 @@ class SimulatedBackend(ExecutionBackend):
 
     def run_region(self, interp, region):
         region.backend_used = self.name
-        interp._run_workers(region.workers, region.loop, region.frame)
+        interp._run_workers(region.workers, region.frame)
 
 
 class ThreadsBackend(ExecutionBackend):
@@ -224,8 +230,12 @@ class ThreadsBackend(ExecutionBackend):
             shim = _WorkerInterpreter(
                 interp.module, interp._global_storage, interp.max_steps
             )
-            shim.run_chunk(region.loop, worker.frame, worker.iterations,
-                           locks)
+            # Member segments run back-to-back with no barrier: fusion
+            # legality keeps every cross-member dependence within one
+            # worker's own chunks.
+            for loop, iterations in worker.segments:
+                if iterations:
+                    shim.run_chunk(loop, worker.frame, iterations, locks)
             worker.seconds = time.perf_counter() - start
             return shim
 
@@ -254,30 +264,74 @@ def _fork_preferred_context():
 #: pool amortizes the fork across every region of every run; payloads
 #: carry all state, so pool workers need no inherited context.
 _POOL = None
+_POOL_SIZE = None
+_POOL_REGIONS = 0  # regions dispatched on the current pool
 _POOL_LOCK = threading.Lock()
+_POOL_ATEXIT_REGISTERED = False
+
+#: Regions dispatched before the pool's workers are recycled.  Child
+#: interpreters accumulate deserialized modules/frames across payloads;
+#: bounded recycling caps that memory without paying a fork per region.
+POOL_RECYCLE_REGIONS = 128
+
+#: Hard ceiling on pool width regardless of the requested size.
+_POOL_MAX_WORKERS = 16
 
 
-def _chunk_pool():
-    global _POOL
+def _desired_pool_size(requested):
+    import os
+
+    cpus = os.cpu_count() or 2
+    if requested is None:
+        return max(2, min(8, cpus))
+    return max(2, min(int(requested), cpus, _POOL_MAX_WORKERS))
+
+
+def _chunk_pool(requested=None):
+    """The shared chunk pool, sized to ``requested`` workers.
+
+    ``requested`` normally comes from the planner's machine-model core
+    count (clamped to the actual CPU count); passing a different size —
+    or crossing the recycle threshold — drains the old pool and starts a
+    fresh one.
+    """
+    global _POOL, _POOL_SIZE, _POOL_REGIONS, _POOL_ATEXIT_REGISTERED
+    size = _desired_pool_size(requested)
     with _POOL_LOCK:
+        # A wider-than-requested pool is simply reused: callers with
+        # different machine models (or the None default) alternating in
+        # one process must not thrash teardown/re-fork cycles.
+        stale = _POOL is not None and (
+            _POOL_SIZE < size or _POOL_REGIONS >= POOL_RECYCLE_REGIONS
+        )
+        if stale:
+            old, _POOL = _POOL, None
+            old.shutdown(wait=False, cancel_futures=True)
         if _POOL is None:
-            import atexit
-            import os
-
             _POOL = concurrent.futures.ProcessPoolExecutor(
-                max_workers=max(2, min(8, os.cpu_count() or 2)),
+                max_workers=size,
                 mp_context=_fork_preferred_context(),
             )
-            # Tear the pool down before interpreter shutdown dismantles
-            # the modules its weakref callbacks still reference.
-            atexit.register(_reset_chunk_pool)
+            _POOL_SIZE = size
+            _POOL_REGIONS = 0
+            if not _POOL_ATEXIT_REGISTERED:
+                import atexit
+
+                # Tear the pool down before interpreter shutdown
+                # dismantles the modules its weakref callbacks still
+                # reference.
+                atexit.register(_reset_chunk_pool)
+                _POOL_ATEXIT_REGISTERED = True
+        _POOL_REGIONS += 1
         return _POOL
 
 
 def _reset_chunk_pool(kill=False):
-    global _POOL
+    global _POOL, _POOL_SIZE, _POOL_REGIONS
     with _POOL_LOCK:
         pool, _POOL = _POOL, None
+        _POOL_SIZE = None
+        _POOL_REGIONS = 0
     if pool is None:
         return
     if kill:
@@ -301,7 +355,7 @@ def _pool_chunk_entry(payload_bytes):
     try:
         payload = pickle.loads(payload_bytes)
         frame = payload["frame"]
-        loop = payload["loop"]
+        segments = payload["segments"]  # [(loop, iterations), ...]
         global_storage = payload["global_storage"]
         private_globals = payload["private_globals"]
         private_alloca_uids = payload["private_alloca_uids"]
@@ -330,7 +384,9 @@ def _pool_chunk_entry(payload_bytes):
             payload["module"], global_storage, payload["max_steps"]
         )
         start = time.perf_counter()
-        shim.run_chunk(loop, frame, payload["iterations"], _NullLocks())
+        for loop, iterations in segments:
+            if iterations:
+                shim.run_chunk(loop, frame, iterations, _NullLocks())
         seconds = time.perf_counter() - start
 
         global_diffs = []
@@ -381,8 +437,14 @@ class ProcessesBackend(ExecutionBackend):
     def run_region(self, interp, region):
         # Critical/atomic regions need shared memory: delegate the whole
         # region to the threads backend (real locks) and record that.
+        # (Regions whose locks the sync-elimination pass removed no
+        # longer appear in the critical map, so they stay here.)
         critical_blocks = interp._critical_regions
-        if any(block.name in critical_blocks for block in region.loop.blocks):
+        if any(
+            block.name in critical_blocks
+            for loop in region.loops
+            for block in loop.blocks
+        ):
             ThreadsBackend().run_region(interp, region)
             region.backend_used = f"{self.name}->threads(critical)"
             return
@@ -391,16 +453,15 @@ class ProcessesBackend(ExecutionBackend):
         active = [w for w in region.workers if w.iterations]
         if not active:
             return
-        pool = _chunk_pool()
+        pool = _chunk_pool(interp.pool_size)
         submitted = []
         for worker in active:
             payload = pickle.dumps({
                 "module": interp.module,
                 "frame": worker.frame,
-                "loop": region.loop,
+                "segments": worker.segments,
                 "global_storage": interp._global_storage,
                 "max_steps": interp.max_steps,
-                "iterations": worker.iterations,
                 "private_globals": worker.private_globals,
                 "private_alloca_uids": {
                     inst.uid for inst in worker.private_allocas
@@ -409,6 +470,7 @@ class ProcessesBackend(ExecutionBackend):
             submitted.append(
                 (worker, pool.submit(_pool_chunk_entry, payload))
             )
+        region.payloads = len(submitted)
 
         shared_allocas = {
             inst.uid: storage

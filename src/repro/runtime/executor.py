@@ -80,6 +80,78 @@ class LoopParallelization:
     chunk: int = 1
 
 
+@dataclasses.dataclass
+class RegionParallelization:
+    """One dispatched parallel region: one or more fused member loops.
+
+    The runtime's unit of execution since the ``repro.opt`` pipeline:
+    every worker receives the same iteration chunk for every member and
+    runs the members back-to-back (fusion legality guarantees identical
+    iteration spaces and worker-aligned cross-member dependences).
+
+    Attributes:
+        recipes: member :class:`LoopParallelization` in control-flow
+            order (a single entry for an unfused loop).
+        backend_override: ``"threads"`` reroutes this region off the
+            process pool (small-region serialization); ``None`` runs on
+            the configured backend.  (``"sequential"`` regions are never
+            materialized — the optimizer's descriptor simply drops them
+            from the dispatch set.)
+        removed_sync_uids: annotation uids whose critical/atomic locks
+            are elided for this region (sync elimination).
+    """
+
+    recipes: list
+    backend_override: str = None
+    removed_sync_uids: frozenset = frozenset()
+
+    @property
+    def header(self):
+        return self.recipes[0].header
+
+    @property
+    def headers(self):
+        return tuple(recipe.header for recipe in self.recipes)
+
+    @property
+    def label(self):
+        return "+".join(self.headers)
+
+    @property
+    def fused(self):
+        return len(self.recipes) > 1
+
+    def merged_recipe(self):
+        """Union of the members' privatization/reduction sets.
+
+        Reductions dedupe by (storage, op): members sharing a same-op
+        reduction accumulate into one per-worker copy, merged once at
+        the join (commutativity makes the grouping unobservable).
+        """
+        merged = LoopParallelization(header=self.label,
+                                     chunk=self.recipes[0].chunk)
+        seen = {}
+        for recipe in self.recipes:
+            for attr in ("privatized", "firstprivate", "lastprivate"):
+                for storage in getattr(recipe, attr):
+                    bucket = seen.setdefault(attr, set())
+                    if id(storage) not in bucket:
+                        bucket.add(id(storage))
+                        getattr(merged, attr).append(storage)
+            for storage, op in recipe.reductions:
+                bucket = seen.setdefault("reductions", set())
+                if (id(storage), op) not in bucket:
+                    bucket.add((id(storage), op))
+                    merged.reductions.append((storage, op))
+        return merged
+
+
+def _as_region(parallelization):
+    if isinstance(parallelization, RegionParallelization):
+        return parallelization
+    return RegionParallelization(recipes=[parallelization])
+
+
 def parallelization_from_annotation(annotation, function):
     """Build a :class:`LoopParallelization` from a worksharing annotation."""
     clauses = annotation.directive.clauses
@@ -355,11 +427,19 @@ def parallelization_from_pspdg(pspdg, loop, module, analyses=None):
 
 
 class _Worker:
-    """One worker executing a chunk of the iteration space."""
+    """One worker executing its chunk of every member loop of a region.
+
+    ``segments`` holds one ``(loop, iterations)`` pair per member; the
+    worker drains them in order (member A's chunk, then member B's) with
+    no barrier in between — the simulated backend steps workers through
+    their segments independently, and the real backends run the segment
+    list inside one thread/process dispatch.
+    """
 
     __slots__ = (
         "index",
-        "iterations",
+        "segments",
+        "segment",
         "cursor",
         "frame",
         "block",
@@ -374,14 +454,15 @@ class _Worker:
         "private_allocas",
     )
 
-    def __init__(self, index, iterations, frame):
+    def __init__(self, index, segments, frame):
         self.index = index
-        self.iterations = iterations
+        self.segments = segments  # [(loop, iteration values), ...]
+        self.segment = 0
         self.cursor = 0
         self.frame = frame
         self.block = None
         self.position = 0
-        self.done = not iterations
+        self.done = not any(iterations for _loop, iterations in segments)
         self.waiting_for = None  # lock name when blocked
         self.held = set()
         self.last_value = None
@@ -390,13 +471,28 @@ class _Worker:
         self.private_globals = set()  # privatized global names
         self.private_allocas = set()  # privatized Alloca instructions
 
+    @property
+    def current_loop(self):
+        return self.segments[self.segment][0]
+
+    @property
+    def iterations(self):
+        """This worker's iteration values across all segments (flat)."""
+        values = []
+        for _loop, iterations in self.segments:
+            values.extend(iterations)
+        return values
+
+    def segment_iterations(self, segment):
+        return self.segments[segment][1]
+
 
 class ParallelInterpreter(Interpreter):
     """Interpreter that executes selected loops on a pluggable backend."""
 
     def __init__(self, module, parallelizations, workers=4, seed=0,
                  max_steps=50_000_000, backend="simulated",
-                 schedule="static", chunk=None):
+                 schedule="static", chunk=None, pool_size=None):
         super().__init__(module, max_steps)
         if (
             not isinstance(workers, int)
@@ -411,13 +507,16 @@ class ParallelInterpreter(Interpreter):
         self.backend = get_backend(backend)
         self.schedule = schedule
         self.chunk = chunk
-        self._recipes = {p.header: p for p in parallelizations}
-        for recipe in parallelizations:
-            # Fail fast: a zero/negative chunk must be a PlanError, not an
-            # empty (or runaway) partition at execution time.
-            make_scheduler(schedule, chunk if chunk is not None
-                           else recipe.chunk)
-        if not parallelizations:
+        self.pool_size = pool_size  # processes-pool sizing (machine cores)
+        regions = [_as_region(p) for p in parallelizations]
+        self._regions = {region.header: region for region in regions}
+        for region in regions:
+            for recipe in region.recipes:
+                # Fail fast: a zero/negative chunk must be a PlanError,
+                # not an empty (or runaway) partition at execution time.
+                make_scheduler(schedule, chunk if chunk is not None
+                               else recipe.chunk)
+        if not regions:
             make_scheduler(schedule, chunk)  # still validate the names
         self._locks = {}  # lock key -> worker index or None
         self._loops_by_function = {}
@@ -432,18 +531,23 @@ class ParallelInterpreter(Interpreter):
     # -- loop takeover ---------------------------------------------------------
 
     def _maybe_run_parallel_loop(self, next_block, from_block, frame):
-        recipe = self._recipes.get(next_block.name)
-        if recipe is None:
+        region = self._regions.get(next_block.name)
+        if region is None:
             return None
-        loop = self._find_loop(frame.function, next_block.name)
-        if loop is None or loop.canonical is None:
-            raise PlanError(
-                f"parallel loop {next_block.name} lacks canonical form"
-            )
-        if from_block in loop.blocks:
+        loops = []
+        for recipe in region.recipes:
+            loop = self._find_loop(frame.function, recipe.header)
+            if loop is None or loop.canonical is None:
+                raise PlanError(
+                    f"parallel loop {recipe.header} lacks canonical form"
+                )
+            loops.append(loop)
+        if from_block in loops[0].blocks:
             return None  # back edge: loop already running (shouldn't occur)
-        self._execute_parallel_loop(loop, recipe, frame)
-        return frame.function.block(loop.canonical.exit)
+        self._execute_parallel_region(loops, region, frame)
+        # Control resumes after the *last* member; fusion legality
+        # guarantees nothing but induction glue lives in between.
+        return frame.function.block(loops[-1].canonical.exit)
 
     def _find_loop(self, function, header_name):
         if function.name not in self._loops_by_function:
@@ -455,40 +559,60 @@ class ParallelInterpreter(Interpreter):
 
     # -- the parallel region ------------------------------------------------------
 
-    def _execute_parallel_loop(self, loop, recipe, frame):
-        canonical = loop.canonical
-        lower = self._value(canonical.lower, frame)
-        upper = self._value(canonical.upper, frame)
-        step = self._value(canonical.step, frame)
-        if step <= 0:
-            raise PlanError("parallel loops require a positive step")
-        values = list(range(lower, upper, step))
+    def _execute_parallel_region(self, loops, region_par, frame):
+        members = []  # (loop, recipe, values, per-worker assignment)
+        for loop, recipe in zip(loops, region_par.recipes):
+            canonical = loop.canonical
+            lower = self._value(canonical.lower, frame)
+            upper = self._value(canonical.upper, frame)
+            step = self._value(canonical.step, frame)
+            if step <= 0:
+                raise PlanError("parallel loops require a positive step")
+            values = list(range(lower, upper, step))
+            chunk = self.chunk if self.chunk is not None else recipe.chunk
+            scheduler = make_scheduler(self.schedule, chunk)
+            members.append(
+                (loop, recipe, values, scheduler.partition(values,
+                                                          self.workers))
+            )
 
-        chunk = self.chunk if self.chunk is not None else recipe.chunk
-        scheduler = make_scheduler(self.schedule, chunk)
-        assignment = scheduler.partition(values, self.workers)
-
+        merged = region_par.merged_recipe()
         workers = []
         for index in range(self.workers):
-            worker = _Worker(index, assignment[index], None)
-            self._make_worker_frame(worker, frame, recipe, loop)
+            segments = [
+                (loop, assignment[index])
+                for loop, _recipe, _values, assignment in members
+            ]
+            worker = _Worker(index, segments, None)
+            self._make_worker_frame(worker, frame, merged, loops)
             workers.append(worker)
 
         region = ParallelRegion(
-            loop=loop, recipe=recipe, frame=frame, workers=workers
+            loops=loops, region=region_par, frame=frame, workers=workers
         )
-        self._critical_regions = self._critical_region_map(frame.function)
+        self._critical_regions = self._critical_region_map(
+            frame.function, region_par.removed_sync_uids
+        )
+        backend = self._effective_backend(region_par)
         started = time.perf_counter()
-        self.backend.run_region(self, region)
+        backend.run_region(self, region)
         elapsed = time.perf_counter() - started
-        self._join(workers, recipe, frame, values)
+        if backend is not self.backend:
+            region.backend_used = (
+                f"{self.backend.name}->{region.backend_used}(small-region)"
+            )
+        self._join(workers, members, frame)
+        chunk = (self.chunk if self.chunk is not None
+                 else region_par.recipes[0].chunk)
         self.parallel_regions.append({
-            "header": recipe.header,
-            "backend": region.backend_used or self.backend.name,
+            "header": region_par.label,
+            "fused": region_par.fused,
+            "backend": region.backend_used or backend.name,
             "schedule": self.schedule,
             "workers": self.workers,
             "chunk": chunk,
-            "iterations": len(values),
+            "iterations": sum(len(values) for _l, _r, values, _a in members),
+            "payloads": region.payloads,
             "seconds": elapsed,
             "per_worker": [
                 {
@@ -501,7 +625,22 @@ class ParallelInterpreter(Interpreter):
             ],
         })
 
-    def _make_worker_frame(self, worker, frame, recipe, loop):
+    def _effective_backend(self, region_par):
+        """The region's backend: the configured one unless a small-region
+        override reroutes a ``processes`` dispatch onto threads.
+
+        The override only ever *reduces* dispatch weight; the simulated
+        oracle and the threads backend are left untouched so race
+        detection and lock behavior stay level-independent.
+        """
+        if (
+            region_par.backend_override == "threads"
+            and self.backend.name == "processes"
+        ):
+            return get_backend("threads")
+        return self.backend
+
+    def _make_worker_frame(self, worker, frame, recipe, loops):
         worker_frame = _Frame(frame.function, frame.args)
         worker_frame.registers = dict(frame.registers)
         worker_frame.objects = frame.objects  # shared by default
@@ -528,8 +667,15 @@ class ParallelInterpreter(Interpreter):
             if shared is not None:
                 storage_remap[id(shared)] = private
 
-        induction = loop.canonical.induction
-        privatize(induction, [0])
+        for loop in loops:
+            induction = loop.canonical.induction
+            privatize(induction, [0])
+            # A fused member's induction alloca may never have executed
+            # in the parent frame (its preheader is skipped by the fused
+            # takeover), so materialize its pointer register directly.
+            private = private_objects.get(induction)
+            if private is not None:
+                worker_frame.registers[induction] = (private, 0)
         for storage in recipe.privatized:
             privatize(storage, self._zeros_for(storage))
         for storage in recipe.firstprivate:
@@ -595,13 +741,13 @@ class ParallelInterpreter(Interpreter):
 
     # -- simulated scheduling (the interleaving oracle) -------------------------
 
-    def _run_workers(self, workers, loop, frame):
+    def _run_workers(self, workers, frame):
         import random
 
         rng = random.Random(self.seed)
         runnable = [w for w in workers if not w.done]
         for worker in runnable:
-            self._start_next_iteration(worker, loop)
+            self._start_next_iteration(worker)
         while True:
             candidates = [
                 w
@@ -615,7 +761,7 @@ class ParallelInterpreter(Interpreter):
                     )
                 return
             worker = rng.choice(candidates)
-            self._step_worker(worker, loop)
+            self._step_worker(worker)
 
     def _can_run(self, worker):
         if worker.waiting_for is None:
@@ -623,12 +769,22 @@ class ParallelInterpreter(Interpreter):
         holder = self._locks.get(worker.waiting_for)
         return holder is None or holder == worker.index
 
-    def _start_next_iteration(self, worker, loop):
-        if worker.cursor >= len(worker.iterations):
+    def _start_next_iteration(self, worker):
+        # Advance to the next member segment with work left (no barrier:
+        # this worker moves on while siblings may still be in earlier
+        # members — fusion legality keeps cross-member flow per-worker).
+        while (
+            worker.segment < len(worker.segments)
+            and worker.cursor >= len(worker.segment_iterations(worker.segment))
+        ):
+            worker.segment += 1
+            worker.cursor = 0
+        if worker.segment >= len(worker.segments):
             worker.done = True
             self._release_all(worker)
             return
-        value = worker.iterations[worker.cursor]
+        loop = worker.current_loop
+        value = worker.segment_iterations(worker.segment)[worker.cursor]
         worker.cursor += 1
         worker.last_value = value
         induction = loop.canonical.induction
@@ -640,7 +796,8 @@ class ParallelInterpreter(Interpreter):
         worker.block = loop.header.parent.block(loop.canonical.body)
         worker.position = 0
 
-    def _step_worker(self, worker, loop):
+    def _step_worker(self, worker):
+        loop = worker.current_loop
         # Honor pending lock acquisition.
         if worker.waiting_for is not None:
             lock = worker.waiting_for
@@ -672,7 +829,7 @@ class ParallelInterpreter(Interpreter):
             if next_block is loop.header:
                 # Iteration finished (came around from the latch).
                 self._release_all(worker)
-                self._start_next_iteration(worker, loop)
+                self._start_next_iteration(worker)
                 return
             self._update_locks(worker, block, next_block)
             worker.block = next_block
@@ -684,11 +841,19 @@ class ParallelInterpreter(Interpreter):
 
     # -- critical sections ----------------------------------------------------
 
-    def _critical_region_map(self, function):
-        """block name -> (lock key, region block set) for critical/atomic."""
+    def _critical_region_map(self, function, removed_sync_uids=frozenset()):
+        """block name -> (lock key, region block set) for critical/atomic.
+
+        Annotations whose uid the optimizer's sync-elimination pass put
+        in ``removed_sync_uids`` contribute no lock: their guarded
+        objects were proven free of cross-worker dependence at this
+        region's loop level.
+        """
         mapping = {}
         for annotation in function.annotations:
             if annotation.directive.kind not in ("critical", "atomic"):
+                continue
+            if annotation.uid in removed_sync_uids:
                 continue
             name = annotation.directive.clauses.critical_name
             key = f"critical:{name}" if name else f"anon:{annotation.uid}"
@@ -728,20 +893,41 @@ class ParallelInterpreter(Interpreter):
 
     # -- join -------------------------------------------------------------------
 
-    def _join(self, workers, recipe, frame, values):
-        last_value = values[-1] if values else None
-        for storage, op in recipe.reductions:
+    def _join(self, workers, members, frame):
+        # Reductions merge once per (storage, op) across all members: a
+        # shared same-op reduction accumulated both members' updates into
+        # one per-worker copy, and commutativity makes the grouping
+        # unobservable.
+        merged_reductions = []
+        seen = set()
+        for _loop, recipe, _values, _assignment in members:
+            for storage, op in recipe.reductions:
+                if (id(storage), op) in seen:
+                    continue
+                seen.add((id(storage), op))
+                merged_reductions.append((storage, op))
+        for storage, op in merged_reductions:
             shared = self._shared_storage(storage, frame)
             for worker in workers:
                 private = self._private_storage(worker, storage)
                 for slot in range(len(shared)):
                     shared[slot] = self._merge(op, shared[slot], private[slot])
-        for storage in recipe.lastprivate:
+        # Lastprivate writes back per member: the worker that executed
+        # the member's final iteration owns the sequential final state.
+        for segment, (_loop, recipe, values, _assignment) in enumerate(
+            members
+        ):
+            if not recipe.lastprivate:
+                continue
+            last_value = values[-1] if values else None
             owner = None
             for worker in workers:
-                if worker.iterations and worker.iterations[-1] == last_value:
+                iterations = worker.segment_iterations(segment)
+                if iterations and iterations[-1] == last_value:
                     owner = worker
-            if owner is not None:
+            if owner is None:
+                continue
+            for storage in recipe.lastprivate:
                 shared = self._shared_storage(storage, frame)
                 private = self._private_storage(owner, storage)
                 shared[:] = private
@@ -791,8 +977,13 @@ def run_parallel(
     backend="simulated",
     schedule="static",
     chunk=None,
+    pool_size=None,
 ):
-    """Execute ``function_name`` with the given loop parallelizations."""
+    """Execute ``function_name`` with the given loop parallelizations.
+
+    ``parallelizations`` may mix :class:`LoopParallelization` (one loop,
+    one region) and :class:`RegionParallelization` (fused) entries.
+    """
     interpreter = ParallelInterpreter(
         module,
         parallelizations,
@@ -801,23 +992,14 @@ def run_parallel(
         backend=backend,
         schedule=schedule,
         chunk=chunk,
+        pool_size=pool_size,
     )
     return interpreter.run(function_name)
 
 
-def recipes_from_plan(module, pspdg, plan, function):
-    """Execution recipes for every executable DOALL loop of ``plan``.
-
-    Only canonical-form DOALL loops run on the parallel machine (HELIX/
-    DSWP are analytical-only in this repository); loops nested inside
-    another planned DOALL loop are skipped — the outer takeover already
-    executes them.
-    """
+def _default_doall_headers(plan, loops):
+    """Executable DOALL headers when the plan carries no region info."""
     from repro.planner.plans import TECH_DOALL
-
-    loops = {
-        loop.header.name: loop for loop in find_natural_loops(function)
-    }
 
     def inside_planned_parent(loop):
         parent = loop.parent
@@ -832,8 +1014,7 @@ def recipes_from_plan(module, pspdg, plan, function):
             parent = parent.parent
         return False
 
-    analyses = _RecipeAnalyses(function, module)
-    recipes = []
+    headers = []
     for header, loop_plan in sorted(plan.loop_plans.items()):
         if loop_plan.technique != TECH_DOALL:
             continue
@@ -842,28 +1023,92 @@ def recipes_from_plan(module, pspdg, plan, function):
             continue
         if inside_planned_parent(loop):
             continue
-        recipes.append(
-            parallelization_from_pspdg(pspdg, loop, module, analyses)
+        headers.append(header)
+    return headers
+
+
+def recipes_from_plan(module, pspdg, plan, function):
+    """Execution regions for every dispatched loop of ``plan``.
+
+    When the plan carries optimizer-produced :class:`RegionDescriptor`
+    entries, they are authoritative: fused regions become multi-member
+    :class:`RegionParallelization` recipes, ``"sequential"``-overridden
+    regions are dropped (the base interpreter runs those loops), and
+    removed-sync/backend-override markers are carried through to the
+    dispatch.  A plan without regions gets the historical one region per
+    canonical-form DOALL loop (HELIX/DSWP stay analytical-only; loops
+    nested inside another planned DOALL are executed by the outer
+    takeover).
+    """
+    from repro.planner.plans import OVERRIDE_SEQUENTIAL
+
+    loops = {
+        loop.header.name: loop for loop in find_natural_loops(function)
+    }
+    analyses = _RecipeAnalyses(function, module)
+
+    def recipe_for(header):
+        return parallelization_from_pspdg(
+            pspdg, loops[header], module, analyses
         )
-    return recipes
+
+    if plan.regions:
+        regions = []
+        for descriptor in plan.regions:
+            if descriptor.backend_override == OVERRIDE_SEQUENTIAL:
+                continue
+            if not all(
+                header in loops and loops[header].canonical is not None
+                for header in descriptor.headers
+            ):
+                continue
+            regions.append(
+                RegionParallelization(
+                    recipes=[recipe_for(h) for h in descriptor.headers],
+                    backend_override=descriptor.backend_override,
+                    removed_sync_uids=descriptor.removed_sync_uids,
+                )
+            )
+        return regions
+
+    return [
+        RegionParallelization(recipes=[recipe_for(header)])
+        for header in _default_doall_headers(plan, loops)
+    ]
 
 
 def run_plan(module, pspdg, plan, function_name="main", workers=4, seed=0,
-             backend="simulated", schedule="static", chunk=None):
+             backend="simulated", schedule="static", chunk=None,
+             opt_level=None, machine=None, pool_size=None):
     """Execute a :class:`ProgramPlan` chosen from the PS-PDG.
 
     This is the runtime entry point :meth:`repro.Session.run` uses: the
     plan's DOALL loops take over with PS-PDG-derived privatization and
-    reduction recipes; everything else runs sequentially.
+    reduction recipes; everything else runs sequentially.  With
+    ``opt_level`` (and the plan not already optimized), the
+    :mod:`repro.opt` pipeline rewrites the plan's regions first — fusing
+    adjacent loops, eliding redundant locks, serializing small regions.
     """
     function = module.function(function_name)
-    recipes = recipes_from_plan(module, pspdg, plan, function)
-    return run_parallel(module, recipes, function_name, workers, seed,
-                        backend, schedule, chunk)
+    if opt_level is not None and not plan.regions:
+        from repro.opt import OptLevel, optimize_plan
+
+        level = OptLevel.coerce(opt_level)
+        if level > OptLevel.O0:
+            from repro.pdg.builder import build_pdg
+
+            pdg = build_pdg(function, module)
+            plan = optimize_plan(
+                function, module, pdg, pspdg, plan, level, machine
+            ).plan
+    regions = recipes_from_plan(module, pspdg, plan, function)
+    return run_parallel(module, regions, function_name, workers, seed,
+                        backend, schedule, chunk, pool_size)
 
 
 def run_source_plan(module, function_name="main", workers=4, seed=0,
-                    backend="simulated", schedule="static", chunk=None):
+                    backend="simulated", schedule="static", chunk=None,
+                    pool_size=None):
     """Execute the developer's OpenMP plan (all worksharing annotations)."""
     function = module.function(function_name)
     recipes = []
@@ -876,4 +1121,4 @@ def run_source_plan(module, function_name="main", workers=4, seed=0,
                 parallelization_from_annotation(annotation, function)
             )
     return run_parallel(module, recipes, function_name, workers, seed,
-                        backend, schedule, chunk)
+                        backend, schedule, chunk, pool_size)

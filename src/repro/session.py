@@ -43,6 +43,21 @@ _STAGE_PARAMS = {
     "loops": (),
     "pspdg": (),
     "views": ("abstractions",),
+    # ``optimize`` re-runs the pass pipeline when the level, the machine
+    # model (cost thresholds), or the planning knobs change — and only
+    # then: the graph stages upstream keep their keys.  Its builder
+    # reaches ``critical_paths`` through the session, so that query's
+    # key fields — including ``abstractions``, which decides the views
+    # the planner iterates — are folded in here explicitly.
+    "optimize": (
+        "opt_level",
+        "machine",
+        "abstractions",
+        "name",
+        "plan_hierarchical",
+        "plan_all_loops",
+    ),
+    "recipes": (),
     # Query stages: the effective machine/min_coverage of ``options``
     # travel as explicit key extras, not config fields.
     "options": ("name",),
@@ -224,6 +239,31 @@ class Session:
         """Abstraction name -> :class:`DependenceView` per the config."""
         return self._stage("views")
 
+    @property
+    def optimizations(self):
+        """Abstraction name -> :class:`OptimizationResult` at the config's
+        ``opt_level`` (stage: optimize)."""
+        return self._stage("optimize")
+
+    @property
+    def region_recipes(self):
+        """Abstraction name -> runtime region recipes (stage: recipes)."""
+        return self._stage("recipes")
+
+    def optimization(self, abstraction="PS-PDG"):
+        """The pass pipeline's result (plan + report) for one abstraction."""
+        results = self.optimizations
+        if abstraction not in results:
+            raise KeyError(
+                f"no optimized plan for abstraction {abstraction!r}; "
+                f"have {sorted(results)}"
+            )
+        return results[abstraction]
+
+    def optimized_plan(self, abstraction="PS-PDG"):
+        """The chosen plan after the ``-O`` passes (regions populated)."""
+        return self.optimization(abstraction).plan
+
     # -- planning queries ------------------------------------------------------
 
     def options(self, machine=None, min_coverage=None):
@@ -315,32 +355,57 @@ class Session:
     # -- execution -------------------------------------------------------------
 
     def run(self, plan=None, workers=None, seed=None, backend=None,
-            schedule=None, chunk=None):
+            schedule=None, chunk=None, opt=None):
         """Execute the program under ``plan`` on a parallel backend.
 
         ``plan`` may be a :class:`ProgramPlan`, an abstraction name
-        (planned on demand), or ``None``/"source" for the developer's
-        OpenMP plan.  ``backend`` ("simulated" | "threads" |
-        "processes"), ``schedule`` ("static" | "dynamic" | "guided"),
-        ``workers``, ``seed``, and ``chunk`` default to the session
-        config.  Per-region, per-worker timing is recorded in
+        (planned — and ``-O``-optimized — on demand), or
+        ``None``/"source" for the developer's OpenMP plan.  ``backend``
+        ("simulated" | "threads" | "processes"), ``schedule`` ("static" |
+        "dynamic" | "guided"), ``workers``, ``seed``, ``chunk``, and
+        ``opt`` (the optimization level) default to the session config.
+        Abstraction-name runs at the config's level reuse the cached
+        ``optimize``/``recipes`` stages; an explicit different ``opt``
+        optimizes on the fly without touching the caches.  The
+        ``processes`` chunk pool is sized from the machine model's core
+        count.  Per-region, per-worker timing is recorded in
         ``self.diagnostics`` (see ``diagnostics.parallel_report()``).
         """
-        from repro.runtime.executor import run_plan, run_source_plan
+        from repro.opt import OptLevel
+        from repro.runtime.executor import (
+            run_parallel,
+            run_plan,
+            run_source_plan,
+        )
 
         workers = workers if workers is not None else self.config.workers
         seed = seed if seed is not None else self.config.seed
         backend = backend if backend is not None else self.config.backend
         schedule = schedule if schedule is not None else self.config.schedule
         chunk = chunk if chunk is not None else self.config.chunk
+        level = (OptLevel.coerce(opt) if opt is not None
+                 else self.config.opt_level)
+        pool_size = self.config.machine.cores
         if plan is None or plan in ("source", "OpenMP"):
             result = run_source_plan(
                 self.module, self.config.function_name, workers, seed,
-                backend, schedule, chunk,
+                backend, schedule, chunk, pool_size,
+            )
+        elif isinstance(plan, str):
+            if level == self.config.opt_level:
+                regions = self._cached_regions(plan)
+            else:
+                regions = self._regions_at_level(plan, level)
+            result = run_parallel(
+                self.module, regions, self.config.function_name, workers,
+                seed, backend, schedule, chunk, pool_size,
             )
         else:
-            if isinstance(plan, str):
-                plan = self.plan(plan)
+            # Explicit ProgramPlan: optimize here, against the session's
+            # cached pdg/loops — run_plan's standalone opt path would
+            # rebuild the dependence analyses on every call.
+            if level > OptLevel.O0 and not plan.regions:
+                plan = self._optimize_plan_object(plan, level)
             result = run_plan(
                 self.module,
                 self.pspdg,
@@ -351,10 +416,43 @@ class Session:
                 backend,
                 schedule,
                 chunk,
+                pool_size=pool_size,
             )
         for region in result.parallel_regions:
             self.diagnostics.record_parallel(region)
         return result
+
+    def _cached_regions(self, abstraction):
+        recipes = self.region_recipes
+        if abstraction not in recipes:
+            # Raise the same error an unknown abstraction always raised.
+            self.plan(abstraction)
+            raise KeyError(f"{abstraction!r} has no executable plan")
+        return recipes[abstraction]
+
+    def _optimize_plan_object(self, plan, level):
+        """Run the -O passes over an explicit plan, on cached artifacts."""
+        from repro.opt import optimize_plan
+
+        return optimize_plan(
+            self.function,
+            self.module,
+            self.pdg,
+            self.pspdg,
+            plan,
+            level,
+            machine=self.config.machine,
+            loops=self.loops,
+        ).plan
+
+    def _regions_at_level(self, abstraction, level):
+        """Regions for an explicit ``opt=`` override (cache-bypassing)."""
+        from repro.runtime.executor import recipes_from_plan
+
+        optimized = self._optimize_plan_object(self.plan(abstraction), level)
+        return recipes_from_plan(
+            self.module, self.pspdg, optimized, self.function
+        )
 
     # -- ablation / canonical form --------------------------------------------
 

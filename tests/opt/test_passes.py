@@ -1,0 +1,345 @@
+"""The -O pass pipeline: legality positives, negatives, and reports.
+
+Fusion/sync-elimination/serialization each get direct positive cases
+(the transform fires and execution stays conformant on every backend)
+and negative cases (an illegal transform is rejected with the legality
+predicate's reason recorded) — on both hand-written sources and the NAS
+kernels whose structure motivated the passes (CG fuses, SP must not;
+IS's merge critical is redundant, SP's binmax critical is not; LU's
+wavefront serializes).
+"""
+
+import pytest
+
+from repro import Session
+from repro.opt import OptLevel, optimize_plan, seed_regions
+from repro.opt.context import OptContext
+from repro.opt.cost import loop_cost, static_trip_count
+from repro.planner.machine import DEFAULT_MACHINE, MachineModel
+from repro.planner.plans import openmp_source_plan
+from repro.runtime import run_plan
+from support.conformance import outputs_close
+
+FUSABLE = """
+global a: float[64];
+global b: float[64];
+global c: float[64];
+
+func main() {
+  for i in 0..64 {
+    a[i] = float(i) * 0.5;
+  }
+  pragma omp parallel_for
+  for i in 0..64 {
+    b[i] = a[i] * 2.0;
+  }
+  pragma omp parallel_for
+  for j in 0..64 {
+    c[j] = b[j] + 1.0;
+  }
+  print("c", c[0], c[31], c[63]);
+}
+"""
+
+#: Same shape, but the second loop reads its producer at j+1: the
+#: cross-loop dependence is carried (distance 1), so per-worker fused
+#: execution would read slots another worker has not written yet.
+SHIFTED = """
+global a: float[64];
+global b: float[64];
+global c: float[64];
+
+func main() {
+  for i in 0..63 {
+    a[i] = float(i) * 0.5;
+  }
+  pragma omp parallel_for
+  for i in 0..63 {
+    b[i] = a[i] * 2.0;
+  }
+  pragma omp parallel_for
+  for j in 0..63 {
+    c[j] = b[j + 1] * 2.0;
+  }
+  print("c", c[0], c[31], c[62]);
+}
+"""
+
+#: The second loop consumes a scalar the first loop reduces into: its
+#: sequential value is the *complete* sum, which no per-worker fused
+#: schedule can have before the first loop fully finishes.
+SCALAR_FLOW = """
+global a: float[64];
+global c: float[64];
+
+func main() {
+  for i in 0..64 {
+    a[i] = float(i) * 0.5;
+  }
+  var s: float = 0.0;
+  pragma omp parallel_for reduction(+: s)
+  for i in 0..64 {
+    s = s + a[i];
+  }
+  pragma omp parallel_for
+  for j in 0..64 {
+    c[j] = a[j] + s;
+  }
+  print("c", c[0], c[63]);
+}
+"""
+
+
+def _optimize_source(source, level=OptLevel.O2, machine=None):
+    session = Session.from_source(source, name="opt-test")
+    plan = openmp_source_plan(session.function)
+    result = optimize_plan(
+        session.function, session.module, session.pdg, session.pspdg,
+        plan, level, machine=machine,
+    )
+    return session, result
+
+
+def _annotated_headers(function):
+    return [
+        annotation.loop_header
+        for annotation in function.annotations
+        if annotation.loop_header is not None
+    ]
+
+
+class TestFusionLegality:
+    def test_adjacent_aligned_loops_fuse(self):
+        session, result = _optimize_source(FUSABLE)
+        headers = tuple(_annotated_headers(session.function))
+        assert result.report.fused == [headers]
+        region = result.plan.region_for(headers[0])
+        assert region.headers == headers
+        assert region.fused
+
+    def test_fused_execution_conforms_on_every_backend(self):
+        session, result = _optimize_source(FUSABLE)
+        expected = session.execution.output
+        for backend in ("simulated", "threads", "processes"):
+            for workers in (1, 3, 4):
+                run = run_plan(
+                    session.module, session.pspdg, result.plan,
+                    workers=workers, backend=backend,
+                )
+                assert outputs_close(run.output, expected), (
+                    backend, workers, run.output)
+        # The fused pair really is one dispatch.
+        run = run_plan(session.module, session.pspdg, result.plan,
+                       workers=4, backend="simulated")
+        fused = [r for r in run.parallel_regions if r["fused"]]
+        assert len(fused) == 1
+        assert "+" in fused[0]["header"]
+
+    def test_carried_cross_loop_dependence_rejected(self):
+        session, result = _optimize_source(SHIFTED)
+        assert result.report.fused == []
+        reasons = [
+            reason
+            for _pass, _subject, reason in result.report.rejected
+        ]
+        assert any("unaligned dependence" in reason for reason in reasons)
+        # And the unfused plan still conforms.
+        expected = session.execution.output
+        run = run_plan(session.module, session.pspdg, result.plan,
+                       workers=4, backend="simulated")
+        assert outputs_close(run.output, expected)
+
+    def test_scalar_flow_between_loops_rejected(self):
+        session, result = _optimize_source(SCALAR_FLOW)
+        assert result.report.fused == []
+        expected = session.execution.output
+        for backend in ("simulated", "processes"):
+            run = run_plan(session.module, session.pspdg, result.plan,
+                           workers=4, backend=backend)
+            assert outputs_close(run.output, expected)
+
+    def test_cg_fuses_matvec_with_dot(self, nas_state):
+        result = nas_state("CG")
+        assert any(len(headers) == 2 for headers in result.report.fused)
+
+    def test_sp_and_bt_stencils_do_not_fuse(self, nas_state):
+        for kernel in ("SP", "BT"):
+            result = nas_state(kernel)
+            assert result.report.fused == [], kernel
+            assert result.report.rejections_for("region-fusion"), kernel
+
+
+class TestSyncElimination:
+    def test_is_merge_critical_removed(self, nas_state):
+        result = nas_state("IS")
+        removed = result.report.syncs_removed
+        assert any(kind == "critical" for _h, kind, _uid in removed)
+        region = result.plan.region_for("for.header.5")
+        assert region is not None and region.removed_sync_uids
+
+    def test_sp_binmax_critical_kept(self, nas_state):
+        """binmax[i % 4] collides across iterations (non-affine subscript
+        -> conservative carried dependence): the lock must survive."""
+        result = nas_state("SP")
+        assert result.report.syncs_removed == []
+        rejections = result.report.rejections_for("sync-elimination")
+        assert any("binmax" in reason for _p, _s, reason in rejections)
+
+    def test_removed_sync_sheds_serialized_uids(self, nas_state):
+        result = nas_state("IS")
+        loop_plan = result.plan.plan_for("for.header.5")
+        assert loop_plan.serialized_uids == frozenset()
+
+    def test_processes_backend_skips_threads_fallback(self, nas_state):
+        """With the critical elided, IS's merge loop may run on real
+        processes instead of falling back to shared-memory threads."""
+        session = Session.from_kernel("IS", opt_level=2)
+        result = session.run("PS-PDG", workers=4, backend="processes")
+        merge_regions = [
+            region
+            for region in result.parallel_regions
+            if "for.header.5" in region["header"]
+        ]
+        assert merge_regions
+        assert all(
+            "(critical)" not in region["backend"]
+            for region in merge_regions
+        )
+
+
+class TestSerialization:
+    def test_lu_wavefront_leaves_the_process_pool(self, nas_state):
+        result = nas_state("LU")
+        serialized = {label for label, _cost, _ov in result.report.serialized}
+        assert "for.header.4" in serialized
+        region = result.plan.region_for("for.header.4")
+        assert region.backend_override in ("sequential", "threads")
+
+    def test_thresholds_come_from_the_machine_model(self):
+        # An absurdly high serial threshold serializes everything ...
+        machine = MachineModel(serial_region_cost=10**9,
+                               threads_region_cost=10**9)
+        session, result = _optimize_source(FUSABLE, machine=machine)
+        assert all(
+            region.backend_override == "sequential"
+            for region in result.plan.regions
+        )
+        # ... and serialized regions are simply not dispatched.
+        run = run_plan(session.module, session.pspdg, result.plan,
+                       workers=4, backend="simulated")
+        assert run.parallel_regions == []
+        assert outputs_close(run.output, session.execution.output)
+
+    def test_unknown_trip_counts_stay_parallel(self):
+        source = """
+global a: float[64];
+
+func main() {
+  var n: int = 5;
+  pragma omp parallel_for
+  for i in 0..n {
+    a[i] = float(i);
+  }
+  print("a", a[0], a[4]);
+}
+"""
+        session, result = _optimize_source(source, level=OptLevel.O1)
+        assert result.report.serialized == []
+        assert all(
+            region.backend_override is None
+            for region in result.plan.regions
+        )
+
+
+class TestCostModel:
+    def test_static_trip_counts(self):
+        session = Session.from_kernel("LU")
+        loops = {
+            loop.header.name: loop for loop in session.loops
+        }
+        assert static_trip_count(loops["for.header.4"]) == 18
+        assert static_trip_count(loops["for.header.3"]) == 36
+
+    def test_nested_costs_multiply(self):
+        session = Session.from_kernel("LU")
+        loops = {loop.header.name: loop for loop in session.loops}
+        outer = loop_cost(loops["for.header.5"])  # 20 x (20-iter inner)
+        inner = loop_cost(loops["for.header.4"])  # 18 flat iterations
+        assert outer > inner
+        assert outer > 20 * 20  # at least one instruction per inner iter
+
+
+class TestPipelineStructure:
+    def test_o0_seeds_but_never_rewrites(self, nas_state):
+        result = nas_state("CG", OptLevel.O0)
+        assert result.report.summary() == {
+            "fused": 0, "syncs_removed": 0, "serialized": 0,
+        }
+        assert result.plan.regions  # seeded: one region per DOALL loop
+        assert all(len(region.headers) == 1 for region in result.plan.regions)
+        assert all(
+            region.backend_override is None for region in result.plan.regions
+        )
+
+    def test_o1_skips_fusion(self, nas_state):
+        result = nas_state("CG", OptLevel.O1)
+        assert result.report.fused == []
+        assert result.level is OptLevel.O1
+
+    def test_seeded_regions_match_legacy_dispatch_set(self):
+        session = Session.from_kernel("MG")
+        plan = session.plan("PS-PDG")
+        ctx = OptContext(session.function, session.module, session.pdg,
+                         session.pspdg, session.loops, DEFAULT_MACHINE)
+        seeded = seed_regions(ctx, plan)
+        from repro.runtime.executor import recipes_from_plan
+
+        legacy = recipes_from_plan(session.module, session.pspdg, plan,
+                                   session.function)
+        assert sorted(r.headers[0] for r in seeded.regions) == sorted(
+            region.header for region in legacy
+        )
+
+    def test_level_coercion(self):
+        assert OptLevel.coerce("-O2") is OptLevel.O2
+        assert OptLevel.coerce("O1") is OptLevel.O1
+        assert OptLevel.coerce("0") is OptLevel.O0
+        assert OptLevel.coerce(2) is OptLevel.O2
+        assert OptLevel.coerce(OptLevel.O1) is OptLevel.O1
+        for bad in ("fast", 3, None, True, 2.0):
+            with pytest.raises(ValueError):
+                OptLevel.coerce(bad)
+
+    def test_merged_recipe_unifies_private_sets(self):
+        session, result = _optimize_source(FUSABLE)
+        from repro.runtime.executor import recipes_from_plan
+
+        regions = recipes_from_plan(session.module, session.pspdg,
+                                    result.plan, session.function)
+        fused = [region for region in regions if region.fused]
+        assert len(fused) == 1
+        merged = fused[0].merged_recipe()
+        member_privates = {
+            id(storage)
+            for recipe in fused[0].recipes
+            for storage in recipe.privatized
+        }
+        assert {id(s) for s in merged.privatized} == member_privates
+
+
+@pytest.fixture(scope="module")
+def nas_state():
+    """kernel (+ level) -> OptimizationResult, memoized per module."""
+    cache = {}
+
+    def build(kernel, level=OptLevel.O2):
+        key = (kernel, level)
+        if key not in cache:
+            session = Session.from_kernel(kernel)
+            cache[key] = optimize_plan(
+                session.function, session.module, session.pdg,
+                session.pspdg, session.plan("PS-PDG"), level,
+            )
+        return cache[key]
+
+    return build

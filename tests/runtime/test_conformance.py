@@ -14,10 +14,16 @@ those retrials must also agree bit-for-bit *with each other*.
 
 import pytest
 
+from repro.opt import OptLevel, optimize_plan
 from repro.runtime import run_plan, run_source_plan
 from repro.workloads import kernel_names
 from repro.workloads.nas import build_session
-from support.conformance import describe_mismatch, outputs_close
+from support.conformance import (
+    describe_mismatch,
+    diff_load_balance,
+    outputs_close,
+    schedule_imbalance,
+)
 
 BACKENDS = ("simulated", "threads", "processes")
 SCHEDULES = ("static", "dynamic", "guided")
@@ -34,6 +40,18 @@ def kernel_state():
         state[name] = (session, session.plan("PS-PDG"),
                        session.execution.output)
     return state
+
+
+@pytest.fixture(scope="module")
+def optimized_plans(kernel_state):
+    """Per kernel: the PS-PDG plan after the full -O2 pass pipeline."""
+    plans = {}
+    for name, (session, plan, _expected) in kernel_state.items():
+        plans[name] = optimize_plan(
+            session.function, session.module, session.pdg, session.pspdg,
+            plan, OptLevel.O2,
+        ).plan
+    return plans
 
 
 @pytest.mark.parametrize("backend", BACKENDS)
@@ -86,6 +104,102 @@ def test_source_plans_match_sequential(backend, kernel_state):
                 f"{kernel} source-plan {backend} workers={workers}: "
                 + describe_mismatch(result.output, expected)
             )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("kernel", kernel_names())
+def test_opt_levels_conform(kernel, backend, kernel_state, optimized_plans):
+    """-O0 and -O2 produce identical results on every backend.
+
+    The -O2 plan may fuse regions, elide proven-redundant locks, and
+    serialize small regions — none of which may change a single output
+    value (ints bitwise; float reductions compare with isclose, since
+    serializing a reduction changes its association order).
+    """
+    session, plan, expected = kernel_state[kernel]
+    for workers in (2, 4):
+        for seed in (0, 1):
+            baseline = run_plan(
+                session.module, session.pspdg, plan,
+                workers=workers, seed=seed, backend=backend,
+            )
+            optimized = run_plan(
+                session.module, session.pspdg, optimized_plans[kernel],
+                workers=workers, seed=seed, backend=backend,
+            )
+            for label, result in (("-O0", baseline), ("-O2", optimized)):
+                assert outputs_close(result.output, expected), (
+                    f"{kernel} {backend} {label} workers={workers} "
+                    f"seed={seed}: "
+                    + describe_mismatch(result.output, expected)
+                )
+
+
+def test_opt_never_dispatches_more_payloads(kernel_state, optimized_plans):
+    """On ``processes``, -O2 must not increase pool payloads anywhere."""
+    for kernel in kernel_names():
+        session, plan, _expected = kernel_state[kernel]
+        counts = {}
+        for label, the_plan in (("O0", plan), ("O2",
+                                               optimized_plans[kernel])):
+            result = run_plan(
+                session.module, session.pspdg, the_plan,
+                workers=4, backend="processes",
+            )
+            counts[label] = sum(
+                region["payloads"] for region in result.parallel_regions
+            )
+        assert counts["O2"] <= counts["O0"], (
+            f"{kernel}: -O2 dispatched {counts['O2']} payloads vs "
+            f"{counts['O0']} at -O0"
+        )
+
+
+def test_load_balance_diff_static_vs_guided(kernel_state):
+    """Per-worker step diffing flags no regression between the schedules.
+
+    Partitioning is deterministic, so per-worker step counts are exact;
+    ``diff_load_balance`` compares a candidate schedule's worst region
+    against a baseline's and flags anything beyond the tolerance factor.
+    EP's uniform 256-iteration loop must balance under both static and
+    guided (in either direction).
+    """
+    session, plan, _expected = kernel_state["EP"]
+    regions = {}
+    for schedule in ("static", "guided"):
+        result = run_plan(
+            session.module, session.pspdg, plan,
+            workers=4, backend="threads", schedule=schedule,
+        )
+        assert result.parallel_regions
+        regions[schedule] = result.parallel_regions
+    flagged = diff_load_balance(regions["static"], regions["guided"])
+    assert not flagged, f"guided regressed balance vs static: {flagged}"
+    flagged = diff_load_balance(regions["guided"], regions["static"])
+    assert not flagged, f"static regressed balance vs guided: {flagged}"
+
+
+def test_load_balance_diff_flags_synthetic_regression():
+    """The diff helper actually fires on a skewed per-worker profile."""
+    even = [{
+        "header": "loop",
+        "per_worker": [
+            {"worker": i, "iterations": 8, "steps": 100} for i in range(4)
+        ],
+    }]
+    skewed = [{
+        "header": "loop",
+        "per_worker": [
+            {"worker": 0, "iterations": 29, "steps": 2900},
+            {"worker": 1, "iterations": 1, "steps": 100},
+            {"worker": 2, "iterations": 1, "steps": 100},
+            {"worker": 3, "iterations": 1, "steps": 100},
+        ],
+    }]
+    assert schedule_imbalance(even) == pytest.approx(1.0)
+    flagged = diff_load_balance(even, skewed)
+    assert flagged and flagged[0]["header"] == "loop"
+    assert flagged[0]["imbalance"] > 1.5
 
 
 def test_per_worker_diagnostics_recorded(kernel_state):

@@ -1,0 +1,73 @@
+"""Chunk-pool sizing and recycling (processes backend).
+
+The persistent pool is sized from the planner's machine-model core
+count (clamped to real CPUs and a hard cap) and recycled after a
+bounded number of region dispatches so child interpreters cannot
+accumulate deserialized state forever.
+"""
+
+import pytest
+
+from repro import Session
+from repro.planner.machine import MachineModel
+from repro.runtime import backends
+
+
+@pytest.fixture(autouse=True)
+def fresh_pool():
+    backends._reset_chunk_pool()
+    yield
+    backends._reset_chunk_pool()
+
+
+class TestDesiredSize:
+    def test_default_caps_at_eight(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 32)
+        assert backends._desired_pool_size(None) == 8
+
+    def test_machine_cores_clamped_to_cpus(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 4)
+        assert backends._desired_pool_size(56) == 4
+
+    def test_hard_cap(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 64)
+        assert backends._desired_pool_size(56) == backends._POOL_MAX_WORKERS
+
+    def test_floor_of_two(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 1)
+        assert backends._desired_pool_size(1) == 2
+
+
+class TestPoolLifecycle:
+    def test_same_size_reuses_pool(self):
+        first = backends._chunk_pool(2)
+        second = backends._chunk_pool(2)
+        assert first is second
+
+    def test_pool_grows_but_never_shrinks(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 8)
+        small = backends._chunk_pool(2)
+        grown = backends._chunk_pool(4)
+        assert grown is not small
+        assert backends._POOL_SIZE == 4
+        # A smaller request reuses the wider pool: alternating callers
+        # (session machine model vs the None default) must not thrash
+        # teardown/re-fork cycles.
+        assert backends._chunk_pool(2) is grown
+        assert backends._POOL_SIZE == 4
+
+    def test_recycles_after_region_budget(self, monkeypatch):
+        monkeypatch.setattr(backends, "POOL_RECYCLE_REGIONS", 2)
+        first = backends._chunk_pool(2)
+        assert backends._chunk_pool(2) is first  # dispatch 2 of 2
+        third = backends._chunk_pool(2)  # budget exhausted: fresh pool
+        assert third is not first
+        assert backends._POOL_REGIONS == 1
+
+    def test_session_sizes_pool_from_machine_model(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 8)
+        machine = MachineModel(cores=3)
+        session = Session.from_kernel("EP", machine=machine)
+        result = session.run("PS-PDG", workers=2, backend="processes")
+        assert result.parallel_regions
+        assert backends._POOL_SIZE == 3

@@ -35,3 +35,61 @@ def outputs_close(actual, expected):
 
 def describe_mismatch(actual, expected):
     return f"parallel output {actual!r} != sequential output {expected!r}"
+
+
+# -- per-worker load-balance diffing -------------------------------------------
+#
+# Region stats carry deterministic per-worker step counts (partitioning
+# is decided once, by the scheduler), so schedules can be compared for
+# load balance without wall-clock noise.
+
+#: A schedule whose imbalance exceeds a baseline's by more than this
+#: factor is flagged as a load-balance regression.
+BALANCE_REGRESSION_FACTOR = 1.5
+
+
+def worker_imbalance(region):
+    """max/mean per-worker steps for one region (1.0 = perfectly even).
+
+    Workers with no iterations are excluded from the mean: a 20-iteration
+    loop on 8 workers idles some of them under any chunking, which is a
+    partition-width property, not a balance property of the schedule.
+    """
+    steps = [
+        worker["steps"]
+        for worker in region["per_worker"]
+        if worker["iterations"]
+    ]
+    if not steps or sum(steps) == 0:
+        return 1.0
+    mean = sum(steps) / len(steps)
+    return max(steps) / mean
+
+
+def schedule_imbalance(regions):
+    """Worst per-region imbalance across a run's parallel regions."""
+    if not regions:
+        return 1.0
+    return max(worker_imbalance(region) for region in regions)
+
+
+def diff_load_balance(baseline_regions, candidate_regions,
+                      factor=BALANCE_REGRESSION_FACTOR):
+    """Compare two runs' per-worker balance; return flagged regressions.
+
+    Returns a list of dicts (one per flagged candidate region) with the
+    region header and both imbalance figures — empty when the candidate
+    schedule is at most ``factor`` times worse than the baseline's worst
+    region.
+    """
+    baseline = schedule_imbalance(baseline_regions)
+    flagged = []
+    for region in candidate_regions:
+        imbalance = worker_imbalance(region)
+        if imbalance > baseline * factor:
+            flagged.append({
+                "header": region["header"],
+                "imbalance": imbalance,
+                "baseline": baseline,
+            })
+    return flagged
