@@ -52,8 +52,9 @@ def warm_pool(nas_sessions):
 
 
 def _measure(session, plan, repetitions=REPETITIONS):
-    """(payloads per run, best wall-clock seconds) on ``processes``."""
+    """(payloads, payload bytes, best wall-clock) on ``processes``."""
     payloads = None
+    payload_bytes = None
     best = None
     for _ in range(repetitions):
         started = time.perf_counter()
@@ -66,19 +67,25 @@ def _measure(session, plan, repetitions=REPETITIONS):
         payloads = sum(
             region["payloads"] for region in result.parallel_regions
         )
-    return payloads, best
+        payload_bytes = sum(
+            region["payload_bytes"] for region in result.parallel_regions
+        )
+    return payloads, payload_bytes, best
 
 
-def test_opt_levels_table(nas_sessions, opt_plans, warm_pool):
+def test_opt_levels_table(nas_sessions, opt_plans, warm_pool, bench_json):
     print()
     header = (
         f"{'kernel':7} "
         + " ".join(f"{level.flag + ' payloads':>12}" for level in LEVELS)
         + " "
+        + " ".join(f"{level.flag + ' bytes':>11}" for level in LEVELS)
+        + " "
         + " ".join(f"{level.flag + ' time':>11}" for level in LEVELS)
     )
     print(header)
     print("-" * len(header))
+    rows = []
     for kernel in KERNELS:
         session = nas_sessions[kernel]
         row = {
@@ -86,26 +93,47 @@ def test_opt_levels_table(nas_sessions, opt_plans, warm_pool):
                             repetitions=1)
             for level in LEVELS
         }
+        for level in LEVELS:
+            payloads, payload_bytes, seconds = row[level]
+            rows.append({
+                "kernel": kernel,
+                "backend": "processes",
+                "opt": level.flag,
+                "workers": WORKERS,
+                "payloads": payloads,
+                "payload_bytes": payload_bytes,
+                "seconds": seconds,
+            })
         print(
             f"{kernel:7} "
             + " ".join(f"{row[level][0]:>12}" for level in LEVELS)
             + " "
+            + " ".join(f"{row[level][1]:>11}" for level in LEVELS)
+            + " "
             + " ".join(
-                f"{row[level][1] * 1000:>9.1f}ms" for level in LEVELS
+                f"{row[level][2] * 1000:>9.1f}ms" for level in LEVELS
             )
         )
+    path = bench_json("opt_levels", rows)
+    print(f"wrote {path}")
 
 
 def test_lu_o2_dispatches_fewer_payloads_and_is_no_slower(
     nas_sessions, opt_plans, warm_pool
 ):
     session = nas_sessions["LU"]
-    payloads_o0, seconds_o0 = _measure(session, opt_plans["LU"][OptLevel.O0])
-    payloads_o2, seconds_o2 = _measure(session, opt_plans["LU"][OptLevel.O2])
+    payloads_o0, bytes_o0, seconds_o0 = _measure(
+        session, opt_plans["LU"][OptLevel.O0]
+    )
+    payloads_o2, bytes_o2, seconds_o2 = _measure(
+        session, opt_plans["LU"][OptLevel.O2]
+    )
     print(
         f"\nLU processes W={WORKERS}: "
-        f"-O0 {payloads_o0} payloads / {seconds_o0 * 1000:.1f}ms, "
-        f"-O2 {payloads_o2} payloads / {seconds_o2 * 1000:.1f}ms"
+        f"-O0 {payloads_o0} payloads / {bytes_o0} B / "
+        f"{seconds_o0 * 1000:.1f}ms, "
+        f"-O2 {payloads_o2} payloads / {bytes_o2} B / "
+        f"{seconds_o2 * 1000:.1f}ms"
     )
     # "Measurably fewer": at least half the dispatches must be gone
     # (in practice -O2 removes the 72 wavefront regions entirely and

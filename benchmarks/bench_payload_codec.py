@@ -1,0 +1,148 @@
+"""Payload codec gate: bytes-on-wire vs the seed's naive encoding.
+
+Run explicitly (bench files are not collected by the default suite)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_payload_codec.py -q -s
+
+The seed's ``processes`` backend shipped every worker one
+self-contained ``pickle.dumps(dict)`` — module, full shared storage,
+frame — per dispatch.  The payload codec replaces that with one shared
+prelude per region plus per-worker memo deltas, and ships the module's
+bytes at most once per pool epoch.  The acceptance gate demands that LU
+and CG at ``-O0`` (the roadmap's serialization-bound cases: many small
+dispatches) put **at most half** the naive bytes on the wire, with
+wall-clock no worse; the table rows land in ``BENCH_payload_codec.json``
+so the trajectory is tracked across PRs.
+"""
+
+import time
+
+import pytest
+
+from repro.runtime import backends, run_plan
+from repro.runtime import payload as payload_codec
+
+KERNELS = ("LU", "CG", "IS", "MG", "EP")
+GATED = ("LU", "CG")
+WORKERS = 4
+REPETITIONS = 3
+
+
+@pytest.fixture(scope="module", autouse=True)
+def fresh_codec_state():
+    """Cold codec caches so module broadcasts are measured, not elided."""
+    backends._reset_chunk_pool()
+    payload_codec.reset_codec_caches()
+    yield
+    backends._reset_chunk_pool()
+    payload_codec.reset_codec_caches()
+
+
+@pytest.fixture(scope="module")
+def warm_pool(nas_sessions):
+    """One throwaway processes run so pool startup isn't timed."""
+    session = nas_sessions["EP"]
+    run_plan(session.module, session.pspdg, session.plan("PS-PDG"),
+             workers=2, backend="processes")
+
+
+def _bytes_run(session):
+    """One -O0 processes run with naive-bytes measurement enabled."""
+    payload_codec.MEASURE_NAIVE = True
+    try:
+        result = run_plan(
+            session.module, session.pspdg, session.plan("PS-PDG"),
+            workers=WORKERS, backend="processes",
+        )
+    finally:
+        payload_codec.MEASURE_NAIVE = False
+    regions = result.parallel_regions
+    return {
+        "payloads": sum(r["payloads"] for r in regions),
+        "payload_bytes": sum(r["payload_bytes"] for r in regions),
+        "naive_payload_bytes": sum(
+            r["naive_payload_bytes"] for r in regions
+        ),
+        "dirty_slots": sum(r["dirty_slots"] for r in regions),
+    }
+
+
+def _timed_run(session, repetitions=REPETITIONS):
+    best = None
+    for _ in range(repetitions):
+        started = time.perf_counter()
+        run_plan(
+            session.module, session.pspdg, session.plan("PS-PDG"),
+            workers=WORKERS, backend="processes",
+        )
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+@pytest.fixture(scope="module")
+def codec_rows(nas_sessions, warm_pool):
+    rows = []
+    for kernel in KERNELS:
+        session = nas_sessions[kernel]
+        row = {
+            "kernel": kernel,
+            "backend": "processes",
+            "opt": "-O0",
+            "workers": WORKERS,
+        }
+        row.update(_bytes_run(session))
+        row["seconds"] = _timed_run(session)
+        rows.append(row)
+    return rows
+
+
+def test_payload_codec_table(codec_rows, bench_json):
+    path = bench_json("payload_codec", codec_rows)
+    print(f"\nwrote {path}")
+    header = (
+        f"{'kernel':7} {'payloads':>8} {'bytes':>10} {'naive':>10} "
+        f"{'ratio':>6} {'dirty':>6} {'seconds':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in codec_rows:
+        ratio = row["naive_payload_bytes"] / max(row["payload_bytes"], 1)
+        print(
+            f"{row['kernel']:7} {row['payloads']:>8} "
+            f"{row['payload_bytes']:>10} {row['naive_payload_bytes']:>10} "
+            f"{ratio:>5.1f}x {row['dirty_slots']:>6} "
+            f"{row['seconds']:>9.4f}"
+        )
+
+
+def test_lu_and_cg_ship_at_most_half_the_naive_bytes(codec_rows):
+    by_kernel = {row["kernel"]: row for row in codec_rows}
+    for kernel in GATED:
+        row = by_kernel[kernel]
+        assert row["payload_bytes"] * 2 <= row["naive_payload_bytes"], (
+            f"{kernel}: codec ships {row['payload_bytes']} of "
+            f"{row['naive_payload_bytes']} naive bytes — less than a "
+            f"2x reduction"
+        )
+
+
+def test_steady_state_regions_ship_no_module_bytes(nas_sessions):
+    """After the broadcast, a whole run's wire carries only preludes
+    and deltas: re-running CG must ship strictly fewer bytes than its
+    first (broadcasting) run, by at least the module's size."""
+    session = nas_sessions["CG"]
+    codec = payload_codec.module_codec(session.module)
+
+    def run_bytes():
+        result = run_plan(
+            session.module, session.pspdg, session.plan("PS-PDG"),
+            workers=WORKERS, backend="processes",
+        )
+        return sum(r["payload_bytes"] for r in result.parallel_regions)
+
+    backends._reset_chunk_pool()
+    payload_codec.reset_codec_caches()
+    first = run_bytes()
+    second = run_bytes()
+    assert first >= second + len(codec.module_bytes)

@@ -3,7 +3,16 @@
 Every benchmark rides one :class:`repro.Session` per NAS kernel: the
 first query compiles, profiles, and builds the graphs; every later query
 (across all bench files in the run) hits the session cache.
+
+Benchmarks that track the perf trajectory across PRs emit
+machine-readable ``BENCH_<name>.json`` files (via the ``bench_json``
+fixture) into the working directory — or ``$BENCH_OUT_DIR`` — which CI
+uploads as workflow artifacts.
 """
+
+import json
+import os
+from pathlib import Path
 
 import pytest
 
@@ -15,6 +24,25 @@ from repro.workloads import kernel_names
 def nas_sessions():
     """One lazily-materialized pipeline session per NAS mini-kernel."""
     return {name: Session.from_kernel(name) for name in kernel_names()}
+
+
+@pytest.fixture(scope="session")
+def bench_json():
+    """Writer for machine-readable benchmark results.
+
+    ``bench_json(name, rows)`` dumps ``rows`` (a list of flat dicts —
+    kernel, backend, payload counts, bytes, wall-clock seconds …) to
+    ``BENCH_<name>.json`` and returns the path.
+    """
+
+    def write(name, rows):
+        out_dir = Path(os.environ.get("BENCH_OUT_DIR", "."))
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path = out_dir / f"BENCH_{name}.json"
+        path.write_text(json.dumps(rows, indent=2, sort_keys=True) + "\n")
+        return path
+
+    return write
 
 
 @pytest.fixture(scope="session")

@@ -34,7 +34,8 @@ class ExecutionResult:
     steps: int
     profile: object = None  # FunctionProfile when profiling was requested
     # Per-region stats when the run used a parallel backend: header,
-    # backend, schedule, workers, chunk, seconds, per_worker timings.
+    # backend, schedule, workers, chunk, seconds, per_worker timings,
+    # and (processes) payloads / payload_bytes / dirty_slots.
     parallel_regions: list = dataclasses.field(default_factory=list)
 
     def formatted_output(self):
@@ -90,6 +91,7 @@ class Interpreter:
         self.max_steps = max_steps
         self.steps = 0
         self.output = []
+        self.write_log = None  # see enable_write_log()
         self._global_storage = {}
         self._loops_cache = {}
         self._profiler = None
@@ -126,6 +128,25 @@ class Interpreter:
 
     def global_values(self, name):
         return list(self._global_storage[name])
+
+    def enable_write_log(self):
+        """Record an ``(object, slot)`` dirty mark for every store.
+
+        Returns the log: ``(id(storage), slot) -> (storage, value before
+        the first write)``.  Keeping the storage object in the entry
+        pins it alive, so an id can never be recycled while the log is
+        in use.  The parallel ``processes`` backend diffs shared state
+        from this log (cost proportional to the writes a chunk made)
+        instead of snapshotting and re-scanning every shared slot.
+
+        Installed as an instance-level handler-table override so the
+        plain sequential interpreter's store path stays branch-free.
+        """
+        self.write_log = {}
+        handlers = dict(type(self)._HANDLERS)
+        handlers[insts.Store] = Interpreter._exec_store_logged
+        self._HANDLERS = handlers
+        return self.write_log
 
     # -- storage ----------------------------------------------------------------
 
@@ -290,6 +311,15 @@ class Interpreter:
     def _exec_store(self, inst, frame):
         value = self._value(inst.value, frame)
         storage, offset = self._value(inst.pointer, frame)
+        storage[offset] = value
+
+    def _exec_store_logged(self, inst, frame):
+        value = self._value(inst.value, frame)
+        storage, offset = self._value(inst.pointer, frame)
+        key = (id(storage), offset)
+        log = self.write_log
+        if key not in log:
+            log[key] = (storage, storage[offset])
         storage[offset] = value
 
     def _exec_gep(self, inst, frame):

@@ -21,7 +21,8 @@ from repro.planner.plans import TECH_DOALL
 class OptContext:
     """Analyses shared by the passes of one ``optimize_plan`` call."""
 
-    def __init__(self, function, module, pdg, pspdg, loops, machine):
+    def __init__(self, function, module, pdg, pspdg, loops, machine,
+                 payload_bytes=None):
         self.function = function
         self.module = module
         self.pdg = pdg
@@ -30,6 +31,10 @@ class OptContext:
             function
         )
         self.machine = machine
+        # Measured bytes-on-wire per region label from a previous run's
+        # ``payload_bytes`` stats; feeds the serialization cost term of
+        # the small-region pass.  Optional: {} means "no measurements".
+        self.payload_bytes = dict(payload_bytes) if payload_bytes else {}
         self.loops_by_header = {
             loop.header.name: loop for loop in self.loops
         }

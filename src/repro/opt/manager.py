@@ -104,12 +104,20 @@ class OptimizationResult:
 
 
 def optimize_plan(
-    function, module, pdg, pspdg, plan, level, machine=None, loops=None
+    function, module, pdg, pspdg, plan, level, machine=None, loops=None,
+    payload_bytes=None,
 ):
-    """Run the ``level`` pipeline over ``plan``; never mutates the input."""
+    """Run the ``level`` pipeline over ``plan``; never mutates the input.
+
+    ``payload_bytes`` optionally maps region labels to measured
+    bytes-on-wire from a previous run (the runtime's ``payload_bytes``
+    stat); the small-region serialization pass folds it into the
+    machine model's dispatch-cost bar.
+    """
     level = OptLevel.coerce(level)
     machine = machine if machine is not None else DEFAULT_MACHINE
-    ctx = OptContext(function, module, pdg, pspdg, loops, machine)
+    ctx = OptContext(function, module, pdg, pspdg, loops, machine,
+                     payload_bytes=payload_bytes)
     report = OptReport(level=level, plan_name=plan.name)
     seeded = seed_regions(ctx, plan)
     optimized = PassManager(passes_for(level)).run(ctx, seeded, report)

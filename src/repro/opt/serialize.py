@@ -27,9 +27,18 @@ class SmallRegionSerializationPass:
             cost = region_cost(ctx, region.headers)
             override = None
             if cost is not None:
+                # Measured bytes-on-wire (a previous run's payload_bytes
+                # stat) raise the process-pool bar: a region must do
+                # enough work to amortize what its payloads actually
+                # cost to ship, not just the fixed dispatch overhead.
+                measured = ctx.payload_bytes.get(region.label)
+                threads_bar = (
+                    machine.threads_region_cost
+                    + machine.serialization_cost(measured)
+                )
                 if cost < machine.serial_region_cost:
                     override = OVERRIDE_SEQUENTIAL
-                elif cost < machine.threads_region_cost:
+                elif cost < threads_bar:
                     override = OVERRIDE_THREADS
             if override is None:
                 regions.append(region)

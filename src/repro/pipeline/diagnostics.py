@@ -48,8 +48,11 @@ class Diagnostics:
         """Record one parallel region execution (from ``Session.run``).
 
         ``region`` is the runtime's stats dict: header, backend,
-        schedule, workers, chunk, iterations, seconds, and a
-        ``per_worker`` list of {worker, iterations, steps, seconds}.
+        schedule, workers, chunk, iterations, seconds, a ``per_worker``
+        list of {worker, iterations, steps, seconds}, and — for
+        ``processes`` dispatches — ``payloads``, ``payload_bytes``
+        (bytes shipped to the pool for the region) and ``dirty_slots``
+        (write-log marks the workers reported).
         """
         self.parallel_regions.append(dict(region))
 
@@ -97,9 +100,9 @@ class Diagnostics:
             return "no parallel regions executed"
         lines = [
             f"{'loop':16} {'backend':26} {'sched':8} {'W':>2} "
-            f"{'iters':>6} {'seconds':>9}  per-worker steps"
+            f"{'iters':>6} {'bytes':>8} {'seconds':>9}  per-worker steps"
         ]
-        lines.append("-" * 88)
+        lines.append("-" * 97)
         for region in self.parallel_regions:
             steps = "/".join(
                 str(worker["steps"]) for worker in region["per_worker"]
@@ -107,7 +110,9 @@ class Diagnostics:
             lines.append(
                 f"{region['header']:16} {region['backend']:26} "
                 f"{region['schedule']:8} {region['workers']:>2} "
-                f"{region['iterations']:>6} {region['seconds']:>9.4f}  "
+                f"{region['iterations']:>6} "
+                f"{region.get('payload_bytes', 0):>8} "
+                f"{region['seconds']:>9.4f}  "
                 f"{steps}"
             )
         return "\n".join(lines)

@@ -19,16 +19,32 @@ class MachineModel:
     worth any dispatch and runs sequentially; below
     ``threads_region_cost`` it is worth threads but never worth
     process-pool frame pickling.
+
+    ``payload_cost_per_byte`` converts a region's *measured* bytes on
+    the process-pool wire (the runtime's ``payload_bytes`` stat) into
+    dynamic-instruction-equivalents: pickling runs a few orders of
+    magnitude faster per byte than the interpreter runs per step, so
+    one shipped byte costs a small fraction of a step.  The
+    serialization pass adds :meth:`serialization_cost` to the
+    ``threads_region_cost`` bar when measured bytes are available,
+    raising the bar for regions whose payloads proved expensive.
     """
 
     cores: int = 56
     chunk_sizes: tuple = (1, 2, 4, 8, 16, 32, 64, 128)
     serial_region_cost: int = 512
     threads_region_cost: int = 2048
+    payload_cost_per_byte: float = 0.01
 
     @property
     def chunk_choices(self):
         return len(self.chunk_sizes)
+
+    def serialization_cost(self, payload_bytes):
+        """Measured wire bytes -> estimated instruction-equivalents."""
+        if not payload_bytes:
+            return 0
+        return int(payload_bytes * self.payload_cost_per_byte)
 
 
 DEFAULT_MACHINE = MachineModel()

@@ -17,6 +17,14 @@ from repro.runtime.backends import (
     backend_names,
     get_backend,
 )
+from repro.runtime.payload import (
+    ModuleCodec,
+    RegionPayloads,
+    WorkerPayload,
+    decode_payload,
+    encode_region,
+    module_codec,
+)
 from repro.runtime.executor import (
     LoopParallelization,
     ParallelInterpreter,
@@ -45,16 +53,22 @@ __all__ = [
     "ExecutionBackend",
     "GuidedScheduler",
     "LoopParallelization",
+    "ModuleCodec",
     "ParallelInterpreter",
     "ProcessesBackend",
     "RegionParallelization",
+    "RegionPayloads",
     "SCHEDULERS",
     "SimulatedBackend",
     "StaticScheduler",
     "ThreadsBackend",
+    "WorkerPayload",
     "backend_names",
+    "decode_payload",
+    "encode_region",
     "get_backend",
     "make_scheduler",
+    "module_codec",
     "parallelization_from_annotation",
     "parallelization_from_pspdg",
     "recipes_from_plan",

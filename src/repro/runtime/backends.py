@@ -14,14 +14,22 @@ frame per worker, and then hands the region to a backend:
   interpreter's storage exactly like the simulated machine; critical
   and atomic regions take real :class:`threading.Lock` locks.
 * ``processes`` — one OS process per worker (:mod:`multiprocessing`).
-  Each worker's privatized frame, the module, and the current shared
-  state are serialized to the child; the child executes its iterations
-  at full sequential-interpreter speed and sends back its private
-  reduction/lastprivate values plus a slot-level diff of the shared
-  storage it wrote.  The parent applies diffs and merges reductions in
-  worker order, so results are deterministic.  Loops whose bodies
-  contain ``critical``/``atomic`` regions need shared memory and fall
-  back to the ``threads`` backend.
+  Each region is encoded by the :mod:`repro.runtime.payload` codec: the
+  shared state (global storage, enclosing frame, member loops) is
+  pickled *once* per region into a prelude that every worker's payload
+  carries, followed by that worker's small delta referencing the
+  prelude by memo id (so the encoding work is per-region, while the
+  prelude bytes still ship once per worker); the module itself travels
+  as persistent ids against a per-pool-worker decoded-module cache,
+  its bytes broadcast at most once per pool recycle epoch.  The child executes
+  its iterations at full sequential-interpreter speed with a store-path
+  write log and sends back its private reduction/lastprivate values
+  plus a slot-level diff of the shared storage it wrote — computed from
+  the log, so merge cost is proportional to the writes made.  The
+  parent applies diffs and merges reductions in worker order, so
+  results are deterministic.  Loops whose bodies contain
+  ``critical``/``atomic`` regions need shared memory and fall back to
+  the ``threads`` backend.
 
 All backends consume the same :class:`ChunkScheduler` partition, so a
 given ``(schedule, chunk, workers)`` triple executes the same
@@ -31,10 +39,11 @@ iteration-to-worker assignment everywhere.
 import concurrent.futures
 import dataclasses
 import multiprocessing
-import pickle
+import os
 import threading
 import time
 
+import repro.runtime.payload as payload_codec
 from repro.emulator.interp import Interpreter
 from repro.ir.instructions import Terminator
 from repro.util.errors import EmulationError, PlanError
@@ -73,6 +82,9 @@ class ParallelRegion:
     workers: list  # _Worker instances, one per configured worker
     backend_used: str = None  # filled by the backend (fallbacks differ)
     payloads: int = 0  # process-pool payloads dispatched (processes only)
+    payload_bytes: int = 0  # bytes shipped to the pool for this region
+    dirty_slots: int = 0  # (object, slot) write marks reported by workers
+    naive_payload_bytes: int = 0  # legacy-codec bytes (bench mode only)
 
 
 class ExecutionBackend:
@@ -277,13 +289,16 @@ POOL_RECYCLE_REGIONS = 128
 #: Hard ceiling on pool width regardless of the requested size.
 _POOL_MAX_WORKERS = 16
 
+#: Pool generation counter: bumped whenever a fresh pool is forked, so
+#: the payload codec knows when its per-epoch module broadcasts (and the
+#: pool workers' decoded-module caches) have been wiped.
+_POOL_EPOCH = 0
+
 
 def _desired_pool_size(requested):
-    import os
-
     cpus = os.cpu_count() or 2
     if requested is None:
-        return max(2, min(8, cpus))
+        return max(2, min(8, cpus, _POOL_MAX_WORKERS))
     return max(2, min(int(requested), cpus, _POOL_MAX_WORKERS))
 
 
@@ -296,6 +311,7 @@ def _chunk_pool(requested=None):
     fresh one.
     """
     global _POOL, _POOL_SIZE, _POOL_REGIONS, _POOL_ATEXIT_REGISTERED
+    global _POOL_EPOCH
     size = _desired_pool_size(requested)
     with _POOL_LOCK:
         # A wider-than-requested pool is simply reused: callers with
@@ -314,6 +330,7 @@ def _chunk_pool(requested=None):
             )
             _POOL_SIZE = size
             _POOL_REGIONS = 0
+            _POOL_EPOCH += 1
             if not _POOL_ATEXIT_REGISTERED:
                 import atexit
 
@@ -346,72 +363,61 @@ def _reset_chunk_pool(kill=False):
     pool.shutdown(wait=False, cancel_futures=True)
 
 
-def _pool_chunk_entry(payload_bytes):
+def _pool_chunk_entry(wire):
     """Pool-worker entry point: run one worker's chunk, return its report.
 
-    Never raises — errors come back as ``{"error": ...}`` so one bad
-    chunk cannot poison the shared pool.
+    ``wire`` is a :meth:`~repro.runtime.payload.WorkerPayload.wire`
+    tuple.  Never raises — errors come back as ``{"error": ...}`` so one
+    bad chunk cannot poison the shared pool, and a worker that has not
+    seen the module bytes of this pool epoch reports
+    ``{"module_miss": key}`` so the parent can retry with them attached.
     """
     try:
-        payload = pickle.loads(payload_bytes)
+        payload = payload_codec.decode_payload(wire)
+        if payload is None:
+            return {"module_miss": wire[0]}
         frame = payload["frame"]
         segments = payload["segments"]  # [(loop, iterations), ...]
         global_storage = payload["global_storage"]
         private_globals = payload["private_globals"]
         private_alloca_uids = payload["private_alloca_uids"]
 
-        # Snapshot the *shared* storage so mutations can be diffed after
-        # the run; private copies are returned whole instead.
-        globals_before = {
-            name: list(values)
-            for name, values in global_storage.items()
-            if name not in frame.global_overlay
-        }
-        allocas_before = {
-            inst: list(storage)
-            for inst, storage in frame.objects.items()
-            if inst.uid not in private_alloca_uids
-        }
-        # Pointer-typed arguments alias caller-owned storage the parent
-        # also shares; their writes must flow back too.
-        args_before = {
-            index: list(value[0])
-            for index, value in enumerate(frame.args)
-            if isinstance(value, tuple) and len(value) == 2
-        }
-
         shim = _WorkerInterpreter(
             payload["module"], global_storage, payload["max_steps"]
         )
+        # Mutations are diffed from the store path's write log, so the
+        # merge costs O(slots written), not O(program state).  Private
+        # copies are returned whole instead.  The shared-object index is
+        # captured before the run: allocas first executed inside the
+        # chunk are scratch, never merged.
+        log = shim.enable_write_log()
+        index = payload_codec.shared_index(
+            frame, global_storage, private_alloca_uids
+        )
+        snapshot = None
+        if payload.get("verify_diffs"):
+            snapshot = payload_codec.snapshot_shared(index)
         start = time.perf_counter()
         for loop, iterations in segments:
             if iterations:
                 shim.run_chunk(loop, frame, iterations, _NullLocks())
         seconds = time.perf_counter() - start
 
-        global_diffs = []
-        for name, before in globals_before.items():
-            after = global_storage[name]
-            for slot, value in enumerate(after):
-                if value != before[slot]:
-                    global_diffs.append((name, slot, value))
-        alloca_diffs = []
-        for inst, before in allocas_before.items():
-            after = frame.objects[inst]
-            for slot, value in enumerate(after):
-                if value != before[slot]:
-                    alloca_diffs.append((inst.uid, slot, value))
-        arg_diffs = []
-        for index, before in args_before.items():
-            after = frame.args[index][0]
-            for slot, value in enumerate(after):
-                if value != before[slot]:
-                    arg_diffs.append((index, slot, value))
+        diffs = payload_codec.diff_write_log(log, index)
+        if snapshot is not None:
+            expected = payload_codec.diff_snapshot(snapshot, index)
+            if tuple(expected) != tuple(diffs):
+                return {
+                    "error": "write-log diff diverged from snapshot diff: "
+                    f"log={diffs!r} snapshot={expected!r}"
+                }
+        global_diffs, alloca_diffs, arg_diffs = diffs
 
         return {
             "steps": shim.steps,
             "output": shim.output,
             "seconds": seconds,
+            "dirty_slots": len(log),
             "global_diffs": global_diffs,
             "alloca_diffs": alloca_diffs,
             "arg_diffs": arg_diffs,
@@ -454,23 +460,25 @@ class ProcessesBackend(ExecutionBackend):
         if not active:
             return
         pool = _chunk_pool(interp.pool_size)
+        encoded = payload_codec.encode_region(
+            module=interp.module,
+            frame=region.frame,
+            loops=region.loops,
+            global_storage=interp._global_storage,
+            max_steps=interp.max_steps,
+            workers=active,
+            epoch=_POOL_EPOCH,
+        )
         submitted = []
-        for worker in active:
-            payload = pickle.dumps({
-                "module": interp.module,
-                "frame": worker.frame,
-                "segments": worker.segments,
-                "global_storage": interp._global_storage,
-                "max_steps": interp.max_steps,
-                "private_globals": worker.private_globals,
-                "private_alloca_uids": {
-                    inst.uid for inst in worker.private_allocas
-                },
-            })
-            submitted.append(
-                (worker, pool.submit(_pool_chunk_entry, payload))
-            )
+        for worker, worker_payload in zip(active, encoded.workers):
+            submitted.append((
+                worker,
+                pool.submit(_pool_chunk_entry, worker_payload.wire()),
+                worker_payload,
+            ))
         region.payloads = len(submitted)
+        region.payload_bytes = encoded.wire_bytes
+        region.naive_payload_bytes = encoded.naive_bytes
 
         shared_allocas = {
             inst.uid: storage
@@ -479,11 +487,21 @@ class ProcessesBackend(ExecutionBackend):
         failure = None
         allowance = _region_allowance(interp.max_steps)
         deadline = time.monotonic() + allowance  # for the whole region
-        for worker, future in submitted:  # worker order: deterministic
+        for worker, future, worker_payload in submitted:  # worker order
             try:
                 result = future.result(
                     timeout=max(0.0, deadline - time.monotonic())
                 )
+                if failure is None and result.get("module_miss"):
+                    # This pool worker joined after the epoch's module
+                    # broadcast: retry its payload (only) with the
+                    # module bytes attached.
+                    refreshed = worker_payload.with_module(encoded.codec)
+                    region.payloads += 1
+                    region.payload_bytes += refreshed.wire_bytes
+                    result = pool.submit(
+                        _pool_chunk_entry, refreshed.wire()
+                    ).result(timeout=max(0.0, deadline - time.monotonic()))
             except concurrent.futures.process.BrokenProcessPool as exc:
                 _reset_chunk_pool()
                 failure = failure or EmulationError(
@@ -493,7 +511,7 @@ class ProcessesBackend(ExecutionBackend):
             except concurrent.futures.TimeoutError:
                 # The child is stuck mid-chunk; abandoning it would leave
                 # it occupying a slot of the shared pool forever.
-                for _w, pending in submitted:
+                for _w, pending, _p in submitted:
                     pending.cancel()
                 _reset_chunk_pool(kill=True)
                 failure = failure or EmulationError(
@@ -510,6 +528,12 @@ class ProcessesBackend(ExecutionBackend):
                 continue
             if failure is not None:
                 continue
+            if result.get("module_miss"):
+                failure = EmulationError(
+                    f"worker process {worker.index} still missing module "
+                    f"{result['module_miss']} after a retry with its bytes"
+                )
+                continue
             if "error" in result:
                 failure = EmulationError(
                     f"worker process {worker.index} failed: "
@@ -525,6 +549,7 @@ class ProcessesBackend(ExecutionBackend):
         worker.seconds = result["seconds"]
         interp.steps += result["steps"]
         interp.output.extend(result["output"])
+        region.dirty_slots += result.get("dirty_slots", 0)
         # Shared-memory effects, applied in worker order (deterministic;
         # a correct DOALL's shared writes are disjoint across workers).
         for name, slot, value in result["global_diffs"]:

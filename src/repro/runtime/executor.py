@@ -21,10 +21,14 @@ program sequentially until control reaches a planned DOALL loop, then
    .ExecutionBackend` — ``simulated`` (the seeded virtual-thread
    interleaver: the race-detection oracle), ``threads`` (real OS
    threads, shared storage, real locks), or ``processes`` (real OS
-   processes with per-worker frame serialization and diff-merged shared
-   state), and
+   processes fed by the :mod:`repro.runtime.payload` codec — a shared
+   prelude pickled once per region, per-worker deltas referencing it by
+   memo id, module bytes cached per pool epoch — with write-log-diffed
+   shared state merged back in worker order), and
 5. joins: merges reductions in worker order and writes back lastprivate
-   values, recording per-worker timing for ``session.diagnostics``.
+   values, recording per-worker timing plus (on ``processes``) payload
+   counts, bytes-on-wire, and dirty-slot counts for
+   ``session.diagnostics``.
 
 Data races that a *wrong* plan would introduce show up under the
 ``simulated`` backend as real nondeterminism across scheduler seeds,
@@ -613,6 +617,9 @@ class ParallelInterpreter(Interpreter):
             "chunk": chunk,
             "iterations": sum(len(values) for _l, _r, values, _a in members),
             "payloads": region.payloads,
+            "payload_bytes": region.payload_bytes,
+            "dirty_slots": region.dirty_slots,
+            "naive_payload_bytes": region.naive_payload_bytes,
             "seconds": elapsed,
             "per_worker": [
                 {

@@ -1,0 +1,470 @@
+"""Region payload codec for the ``processes`` backend.
+
+The seed runtime shipped every pool worker one ``pickle.dumps(dict)``
+holding the module, the full shared storage, and the worker frame —
+O(program size) pickled W times per region, with the module (the largest
+single component) re-encoded on every dispatch.  This codec makes the
+wire format reflect what the PS-PDG already knows: the shared part of a
+region is identical across workers, and the module is identical across
+the whole run.
+
+Three cooperating pieces:
+
+**Shared-prelude pickling.**  Each region's shared state (global
+storage, the enclosing sequential frame, the member loops) is dumped
+once into a *shared prelude* stream; every worker's delta stream is then
+produced by a pickler whose memo is primed with the prelude pickler's
+memo, so the delta references shared objects by memo id instead of
+re-serializing them.  The pool worker decodes with a single unpickler
+over ``prelude + delta`` (two ``load()`` calls share one memo), which is
+what preserves the register→storage aliasing the child's diff and
+write-back rely on: a pointer register in the decoded worker frame *is*
+a reference into the decoded shared storage, exactly as in the parent.
+(The naive two-stream split — independent picklers — would duplicate
+the storage lists and silently drop every store made through a
+pre-materialized pointer.)
+
+**Module byte cache.**  The module never changes across the regions of a
+run, so its pickled bytes are produced once per module identity
+(:func:`module_codec`, a strong-reference LRU so an id can never be
+reused while cached) and shipped to the pool at most once per pool
+recycle epoch.  Region streams never contain the module at all: every
+module-owned object (functions, blocks, instructions, annotations,
+canonical-loop records, globals) is pickled as a *persistent id* —
+``("m", index)`` into the deterministic :func:`module_objects`
+traversal — and resolved by the pool worker against its decoded-module
+cache.  A worker that has not yet decoded the module (it joined the pool
+after the epoch's broadcast region) reports a miss and the parent
+retries that one payload with the bytes attached.
+
+**Write-log diffing.**  The worker interpreter's store path records
+``(object, slot)`` dirty marks (:meth:`Interpreter.enable_write_log`),
+and :func:`diff_write_log` emits the shared-state diff from the log —
+cost proportional to the writes the chunk actually made, not to the
+size of every shared object.  The emitted diff is byte-for-byte the one
+the legacy snapshot+full-scan produced (:func:`diff_snapshot` keeps that
+path alive for the verification mode and the differential tests).
+"""
+
+import dataclasses
+import hashlib
+import io
+import pickle
+from collections import OrderedDict
+
+#: Protocol for every codec stream.  Fixed (not HIGHEST_PROTOCOL) so the
+#: parent and a pool worker running a different interpreter version of
+#: the same session never disagree about opcodes.
+PROTOCOL = 5
+
+#: Persistent-id namespace tag for module-owned objects.
+MODULE_TAG = "m"
+
+#: Parent-side module codecs kept alive (id-keyed; strong references
+#: guarantee the id cannot be recycled while the entry exists).
+_MODULE_CODEC_CAP = 8
+
+#: Pool-worker-side decoded modules kept per process.
+_DECODED_MODULE_CAP = 4
+
+#: When true, every encoded region asks the pool worker to compute the
+#: legacy snapshot diff alongside the write-log diff and fail loudly on
+#: any divergence.  Set by the differential tests; travels inside the
+#: payload, so no child-process state is involved.
+VERIFY_DIFFS = False
+
+#: When true, :func:`encode_region` also measures what the legacy codec
+#: (one self-contained ``pickle.dumps`` per worker) would have shipped,
+#: filling ``RegionPayloads.naive_bytes``.  Benchmark-only: it performs
+#: the very re-pickling the codec exists to avoid.
+MEASURE_NAIVE = False
+
+
+# -- deterministic module traversal -------------------------------------------
+
+
+def module_objects(module):
+    """Every module-owned object, in a deterministic traversal order.
+
+    The parent builds its persistent-id map from this enumeration and
+    the pool worker resolves persistent ids against the same enumeration
+    of its *decoded* copy, so index ``i`` names the same logical object
+    on both sides.  Any new object kind the IR grows must be appended
+    here (order matters; append-only within one wire format).
+    """
+    objects = [module]
+    for function in module.functions.values():
+        objects.append(function)
+        objects.extend(function.args)
+        for block in function.blocks:
+            objects.append(block)
+            objects.extend(block.instructions)
+        objects.extend(function.annotations)
+        objects.extend(function.loop_info.values())
+    objects.extend(module.globals.values())
+    return objects
+
+
+# -- picklers / unpicklers -----------------------------------------------------
+
+
+class _RegionPickler(pickle.Pickler):
+    """Pickler that writes module-owned objects as persistent ids."""
+
+    def __init__(self, file, persist_map):
+        super().__init__(file, protocol=PROTOCOL)
+        self._persist = persist_map
+
+    def persistent_id(self, obj):
+        return self._persist.get(id(obj))
+
+
+class _RegionUnpickler(pickle.Unpickler):
+    """Unpickler resolving persistent ids against decoded module objects."""
+
+    def __init__(self, file, objects):
+        super().__init__(file)
+        self._objects = objects
+
+    def persistent_load(self, pid):
+        tag, index = pid
+        if tag != MODULE_TAG:
+            raise pickle.UnpicklingError(
+                f"unknown persistent id namespace {tag!r}"
+            )
+        return self._objects[index]
+
+
+# -- parent-side module codec --------------------------------------------------
+
+
+class ModuleCodec:
+    """Pickled-once module bytes plus the persistent-id map for regions.
+
+    ``key`` is the content hash of the module stream — the identity the
+    pool workers cache decoded modules under, so two sessions sharing
+    one pool (or one session surviving a pool recycle) can never collide
+    on stale bytes.
+    """
+
+    __slots__ = ("module", "key", "module_bytes", "persist_map")
+
+    def __init__(self, module):
+        self.module = module
+        buffer = io.BytesIO()
+        pickle.Pickler(buffer, protocol=PROTOCOL).dump(module)
+        self.module_bytes = buffer.getvalue()
+        self.key = hashlib.sha256(self.module_bytes).hexdigest()
+        self.persist_map = {
+            id(obj): (MODULE_TAG, index)
+            for index, obj in enumerate(module_objects(module))
+        }
+
+
+_MODULE_CODECS = OrderedDict()  # id(module) -> ModuleCodec (LRU)
+
+#: (pool epoch, module key) pairs whose bytes were already broadcast;
+#: pruned to the current epoch on every encode.
+_SHIPPED_MODULES = set()
+
+
+def module_codec(module):
+    """The (cached) :class:`ModuleCodec` for ``module``.
+
+    Keyed by object identity: a session's module object is stable across
+    its runs, so the expensive module pickle happens once per session
+    (per module), not once per region per worker.
+    """
+    key = id(module)
+    codec = _MODULE_CODECS.get(key)
+    if codec is not None and codec.module is module:
+        _MODULE_CODECS.move_to_end(key)
+        return codec
+    codec = ModuleCodec(module)
+    _MODULE_CODECS[key] = codec
+    while len(_MODULE_CODECS) > _MODULE_CODEC_CAP:
+        _MODULE_CODECS.popitem(last=False)
+    return codec
+
+
+def reset_codec_caches():
+    """Drop every codec cache in this process (tests/benchmarks only)."""
+    _MODULE_CODECS.clear()
+    _SHIPPED_MODULES.clear()
+    _DECODED_MODULES.clear()
+
+
+# -- wire format ---------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class WorkerPayload:
+    """One pool dispatch: shared prelude + this worker's delta.
+
+    ``module_bytes`` rides along only when the parent is broadcasting
+    the module for this pool epoch (or retrying a worker-side miss).
+    """
+
+    module_key: str
+    module_bytes: bytes  # None when the pool epoch already has them
+    shared_bytes: bytes
+    delta_bytes: bytes
+
+    @property
+    def wire_bytes(self):
+        return (
+            len(self.shared_bytes)
+            + len(self.delta_bytes)
+            + (len(self.module_bytes) if self.module_bytes else 0)
+        )
+
+    def wire(self):
+        return (
+            self.module_key,
+            self.module_bytes,
+            self.shared_bytes,
+            self.delta_bytes,
+        )
+
+    def with_module(self, codec):
+        """A copy carrying the module bytes (miss-retry path)."""
+        return dataclasses.replace(self, module_bytes=codec.module_bytes)
+
+
+@dataclasses.dataclass
+class RegionPayloads:
+    """The encoded region: one :class:`WorkerPayload` per active worker."""
+
+    codec: ModuleCodec
+    workers: list
+    shipped_module: bool
+    naive_bytes: int = 0  # legacy-codec bytes (MEASURE_NAIVE only)
+
+    @property
+    def wire_bytes(self):
+        return sum(payload.wire_bytes for payload in self.workers)
+
+
+def encode_region(module, frame, loops, global_storage, max_steps,
+                  workers, epoch):
+    """Encode one region's pool payloads.
+
+    ``workers`` are the active ``_Worker`` instances; ``frame`` is the
+    enclosing sequential frame whose storages the worker frames alias;
+    ``epoch`` identifies the current pool generation (module bytes are
+    broadcast once per epoch).
+    """
+    codec = module_codec(module)
+
+    buffer = io.BytesIO()
+    prelude_pickler = _RegionPickler(buffer, codec.persist_map)
+    prelude_pickler.dump({
+        "global_storage": global_storage,
+        "region_frame": frame,
+        "loops": loops,
+        "max_steps": max_steps,
+        "verify_diffs": VERIFY_DIFFS,
+    })
+    shared_bytes = buffer.getvalue()
+    # Memo snapshot after the prelude: each worker's delta pickler is
+    # primed with its own copy (dict() below — the C pickler's memo
+    # setter copies anyway, the pure-Python one would share), so deltas
+    # reference prelude objects by memo id and one worker's private
+    # objects can never leak into another's stream.
+    base_memo = prelude_pickler.memo.copy()
+
+    ship = (epoch, codec.key) not in _SHIPPED_MODULES
+    payloads = []
+    naive_bytes = 0
+    for worker in workers:
+        delta_buffer = io.BytesIO()
+        delta_pickler = _RegionPickler(delta_buffer, codec.persist_map)
+        delta_pickler.memo = dict(base_memo)
+        delta_pickler.dump({
+            "frame": worker.frame,
+            "segments": worker.segments,
+            "private_globals": worker.private_globals,
+            "private_alloca_uids": {
+                inst.uid for inst in worker.private_allocas
+            },
+        })
+        payloads.append(WorkerPayload(
+            module_key=codec.key,
+            module_bytes=codec.module_bytes if ship else None,
+            shared_bytes=shared_bytes,
+            delta_bytes=delta_buffer.getvalue(),
+        ))
+        if MEASURE_NAIVE:
+            naive_bytes += len(pickle.dumps({
+                "module": module,
+                "frame": worker.frame,
+                "segments": worker.segments,
+                "global_storage": global_storage,
+                "max_steps": max_steps,
+                "private_globals": worker.private_globals,
+                "private_alloca_uids": {
+                    inst.uid for inst in worker.private_allocas
+                },
+            }))
+    if ship and payloads:
+        _SHIPPED_MODULES.add((epoch, codec.key))
+        # Entries for dead pool generations can never be consulted again.
+        stale = {entry for entry in _SHIPPED_MODULES if entry[0] != epoch}
+        _SHIPPED_MODULES.difference_update(stale)
+    return RegionPayloads(
+        codec=codec,
+        workers=payloads,
+        shipped_module=ship,
+        naive_bytes=naive_bytes,
+    )
+
+
+# -- pool-worker-side decoding -------------------------------------------------
+
+_DECODED_MODULES = OrderedDict()  # module key -> (module, objects)
+
+
+def decode_payload(wire):
+    """Decode one :meth:`WorkerPayload.wire` tuple inside a pool worker.
+
+    Returns the payload dict the chunk entry executes, or ``None`` when
+    this worker has not seen the module's bytes yet (the caller reports
+    a miss and the parent retries with the bytes attached).  The decoded
+    module — and its :func:`module_objects` enumeration — is cached per
+    process, so steady-state payloads deserialize no module at all.
+    """
+    module_key, module_bytes, shared_bytes, worker_bytes = wire
+    entry = _DECODED_MODULES.get(module_key)
+    if entry is None:
+        if module_bytes is None:
+            return None
+        module = pickle.loads(module_bytes)
+        entry = (module, module_objects(module))
+        _DECODED_MODULES[module_key] = entry
+        while len(_DECODED_MODULES) > _DECODED_MODULE_CAP:
+            _DECODED_MODULES.popitem(last=False)
+    else:
+        _DECODED_MODULES.move_to_end(module_key)
+    module, objects = entry
+    # One unpickler, two loads: the delta's memo references resolve
+    # against the prelude's memo entries, preserving aliasing.
+    unpickler = _RegionUnpickler(
+        io.BytesIO(shared_bytes + worker_bytes), objects
+    )
+    payload = unpickler.load()
+    payload.update(unpickler.load())
+    payload["module"] = module
+    return payload
+
+
+# -- shared-state diffing ------------------------------------------------------
+#
+# The index, the snapshot, and both diff functions iterate the shared
+# objects in the same fixed order (globals in storage-dict order,
+# allocas in frame-object order, pointer args by index; slots ascending)
+# so the write-log diff is byte-for-byte the snapshot diff.
+
+
+def shared_index(frame, global_storage, private_alloca_uids):
+    """Which objects a worker's writes must flow back through.
+
+    Captured *before* the chunk runs: an alloca first executed inside
+    the chunk is per-worker scratch, never merged (matching the legacy
+    snapshot's pre-run capture).  Returns three ordered lists of
+    ``(key, live storage)`` pairs — globals by name, allocas by
+    instruction, pointer-typed arguments by index (those alias
+    caller-owned storage the parent also shares).
+    """
+    globals_ = [
+        (name, values)
+        for name, values in global_storage.items()
+        if name not in frame.global_overlay
+    ]
+    allocas = [
+        (inst, storage)
+        for inst, storage in frame.objects.items()
+        if inst.uid not in private_alloca_uids
+    ]
+    args = [
+        (index, value[0])
+        for index, value in enumerate(frame.args)
+        if isinstance(value, tuple) and len(value) == 2
+    ]
+    return globals_, allocas, args
+
+
+def snapshot_shared(index):
+    """Legacy pre-run capture: a full copy of every shared object."""
+    globals_, allocas, args = index
+    return (
+        [list(values) for _name, values in globals_],
+        [list(storage) for _inst, storage in allocas],
+        [list(storage) for _index, storage in args],
+    )
+
+
+def diff_snapshot(snapshot, index):
+    """Legacy full-scan diff of ``index`` against its pre-run snapshot."""
+    globals_before, allocas_before, args_before = snapshot
+    globals_, allocas, args = index
+    global_diffs = []
+    for (name, after), before in zip(globals_, globals_before):
+        for slot, value in enumerate(after):
+            if value != before[slot]:
+                global_diffs.append((name, slot, value))
+    alloca_diffs = []
+    for (inst, after), before in zip(allocas, allocas_before):
+        for slot, value in enumerate(after):
+            if value != before[slot]:
+                alloca_diffs.append((inst.uid, slot, value))
+    arg_diffs = []
+    for (index_, after), before in zip(args, args_before):
+        for slot, value in enumerate(after):
+            if value != before[slot]:
+                arg_diffs.append((index_, slot, value))
+    return global_diffs, alloca_diffs, arg_diffs
+
+
+def diff_write_log(log, index):
+    """Shared-state diff of ``index`` from the interpreter's write log.
+
+    ``log`` maps ``(id(storage), slot) -> (storage, value before the
+    first write)`` — see :meth:`Interpreter.enable_write_log`.  Cost is
+    O(dirty slots), and a slot rewritten to its original value is
+    elided, exactly as the snapshot scan would.
+    """
+    marks_by_storage = {}
+    for (storage_id, slot), (_storage, before) in log.items():
+        marks_by_storage.setdefault(storage_id, []).append((slot, before))
+    for marks in marks_by_storage.values():
+        marks.sort()
+
+    globals_, allocas, args = index
+    global_diffs = []
+    for name, values in globals_:
+        marks = marks_by_storage.get(id(values))
+        if not marks:
+            continue
+        for slot, before in marks:
+            value = values[slot]
+            if value != before:
+                global_diffs.append((name, slot, value))
+    alloca_diffs = []
+    for inst, storage in allocas:
+        marks = marks_by_storage.get(id(storage))
+        if not marks:
+            continue
+        for slot, before in marks:
+            value = storage[slot]
+            if value != before:
+                alloca_diffs.append((inst.uid, slot, value))
+    arg_diffs = []
+    for index_, storage in args:
+        marks = marks_by_storage.get(id(storage))
+        if not marks:
+            continue
+        for slot, before in marks:
+            value = storage[slot]
+            if value != before:
+                arg_diffs.append((index_, slot, value))
+    return global_diffs, alloca_diffs, arg_diffs

@@ -251,6 +251,53 @@ func main() {
         )
 
 
+BULK = """
+global a: float[4096];
+
+func main() {
+  pragma omp parallel_for
+  for i in 0..4096 {
+    a[i] = float(i) * 2.0;
+  }
+  print("a", a[0], a[4095]);
+}
+"""
+
+
+class TestSerializationCostFeedback:
+    """Measured bytes-on-wire feed the process-pool dispatch bar."""
+
+    def _optimize(self, payload_bytes=None):
+        session = Session.from_source(BULK, name="payload-feedback")
+        plan = openmp_source_plan(session.function)
+        return optimize_plan(
+            session.function, session.module, session.pdg, session.pspdg,
+            plan, OptLevel.O1, payload_bytes=payload_bytes,
+        )
+
+    def test_without_measurements_the_region_stays_on_the_pool(self):
+        result = self._optimize()
+        assert len(result.plan.regions) == 1
+        assert result.plan.regions[0].backend_override is None
+
+    def test_measured_bytes_raise_the_process_bar(self):
+        label = self._optimize().plan.regions[0].label
+        result = self._optimize(payload_bytes={label: 10_000_000})
+        assert result.plan.regions[0].backend_override == "threads"
+        assert result.report.serialized
+        # A cheap-to-ship region is unaffected.
+        small = self._optimize(payload_bytes={label: 64})
+        assert small.plan.regions[0].backend_override is None
+
+    def test_serialization_cost_term(self):
+        machine = MachineModel()
+        assert machine.serialization_cost(0) == 0
+        assert machine.serialization_cost(None) == 0
+        assert machine.serialization_cost(100_000) == int(
+            100_000 * machine.payload_cost_per_byte
+        )
+
+
 class TestCostModel:
     def test_static_trip_counts(self):
         session = Session.from_kernel("LU")

@@ -1,0 +1,214 @@
+"""Region payload codec invariants (processes backend wire format).
+
+The codec must be a pure re-encoding of what the seed shipped: the same
+region encodes to byte-identical shared preludes, a decoded worker frame
+preserves the register→storage aliasing the child's diff and write-back
+rely on, the write-log diff is byte-for-byte the legacy snapshot diff on
+every NAS kernel, and the module's bytes travel at most once per pool
+recycle epoch (with the miss/retry path covering pool workers that
+joined late).
+"""
+
+import pytest
+
+from repro import Session
+from repro.runtime import backends
+from repro.runtime import payload as payload_codec
+from support.conformance import outputs_close
+
+pytestmark = pytest.mark.usefixtures("fresh_codec")
+
+KERNELS = ("BT", "CG", "EP", "FT", "IS", "LU", "MG", "SP")
+
+
+@pytest.fixture
+def fresh_codec():
+    backends._reset_chunk_pool()
+    payload_codec.reset_codec_caches()
+    yield
+    backends._reset_chunk_pool()
+    payload_codec.reset_codec_caches()
+
+
+@pytest.fixture
+def captured_region(monkeypatch):
+    """The encode_region outputs of a real CG processes run.
+
+    Each capture holds the region's payloads plus an immediate second
+    encoding of the *same live state* (the run mutates storage right
+    after, so re-encoding later would see different values).
+    """
+    captured = []
+    real = payload_codec.encode_region
+
+    def spy(**kwargs):
+        encoded = real(**kwargs)
+        captured.append((encoded, real(**kwargs)))
+        return encoded
+
+    monkeypatch.setattr(backends.payload_codec, "encode_region", spy)
+    session = Session.from_kernel("CG")
+    result = session.run("PS-PDG", workers=4, backend="processes")
+    assert result.parallel_regions and captured
+    return session, captured
+
+
+class TestEncodeDeterminism:
+    def test_same_region_encodes_byte_identical_preludes(
+        self, captured_region
+    ):
+        _session, captured = captured_region
+        # Encoding the same live region twice must reproduce the wire
+        # bytes exactly: the memo priming and the persistent-id
+        # traversal are deterministic within a session.
+        for first, again in captured:
+            assert [p.shared_bytes for p in again.workers] == [
+                p.shared_bytes for p in first.workers
+            ]
+            assert [p.delta_bytes for p in again.workers] == [
+                p.delta_bytes for p in first.workers
+            ]
+            assert len(set(p.shared_bytes for p in first.workers)) == 1
+
+    def test_deltas_are_small_relative_to_prelude(self, captured_region):
+        _session, captured = captured_region
+        for encoded, _again in captured:
+            for worker_payload in encoded.workers:
+                assert (
+                    len(worker_payload.delta_bytes)
+                    < len(worker_payload.shared_bytes)
+                )
+
+
+class TestDecodedAliasing:
+    def test_register_points_into_decoded_shared_storage(
+        self, captured_region
+    ):
+        _session, captured = captured_region
+        encoded, _again = captured[0]
+        worker_payload = encoded.workers[0]
+        decoded = payload_codec.decode_payload(worker_payload.wire())
+        assert decoded is not None
+        frame = decoded["frame"]
+        shared_ids = {
+            id(values) for values in decoded["global_storage"].values()
+        }
+        shared_ids.update(id(storage) for storage in frame.objects.values())
+        pointer_registers = [
+            value
+            for value in frame.registers.values()
+            if isinstance(value, tuple) and len(value) == 2
+        ]
+        assert pointer_registers
+        # Every materialized pointer register aims at a decoded object
+        # table entry — not at a duplicate the two-stream split would
+        # have produced.
+        assert all(
+            id(storage) in shared_ids for storage, _offset in pointer_registers
+        )
+
+    def test_store_through_register_is_visible_in_diff(
+        self, captured_region
+    ):
+        _session, captured = captured_region
+        encoded, _again = captured[0]
+        decoded = payload_codec.decode_payload(encoded.workers[0].wire())
+        frame = decoded["frame"]
+        index = payload_codec.shared_index(
+            frame, decoded["global_storage"], decoded["private_alloca_uids"]
+        )
+        shared_ids = {
+            id(storage)
+            for group in index
+            for _key, storage in group
+        }
+        storage, offset = next(
+            value
+            for value in frame.registers.values()
+            if isinstance(value, tuple)
+            and len(value) == 2
+            and id(value[0]) in shared_ids
+        )
+        before = storage[offset]
+        log = {(id(storage), offset): (storage, before)}
+        storage[offset] = before + 7
+        diffs = payload_codec.diff_write_log(log, index)
+        assert any(
+            entry[1] == offset and entry[2] == before + 7
+            for group in diffs
+            for entry in group
+        )
+
+
+class TestWriteLogMatchesSnapshot:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_diffs_identical_on_kernel(self, kernel, monkeypatch):
+        # The pool worker computes both diffs and errors out on any
+        # divergence, so a passing run is the assertion.
+        monkeypatch.setattr(payload_codec, "VERIFY_DIFFS", True)
+        session = Session.from_kernel(kernel)
+        result = session.run("PS-PDG", workers=4, backend="processes")
+        assert outputs_close(result.output, session.execution.output)
+        processes_regions = [
+            region
+            for region in result.parallel_regions
+            if region["backend"] == "processes"
+        ]
+        assert processes_regions
+        assert all(
+            region["dirty_slots"] > 0 for region in processes_regions
+        )
+
+
+class TestModuleByteCache:
+    def test_module_ships_once_per_epoch(self):
+        session = Session.from_kernel("EP")
+        first = session.run("PS-PDG", workers=4, backend="processes")
+        second = session.run("PS-PDG", workers=4, backend="processes")
+        bytes_first = sum(
+            r["payload_bytes"] for r in first.parallel_regions
+        )
+        bytes_second = sum(
+            r["payload_bytes"] for r in second.parallel_regions
+        )
+        module_bytes = len(
+            payload_codec.module_codec(session.module).module_bytes
+        )
+        # Run 1 broadcast the module; run 2 shipped only prelude+deltas.
+        assert bytes_first >= bytes_second + module_bytes
+        # A pool recycle wipes the workers' caches: the next run must
+        # broadcast again.
+        backends._reset_chunk_pool()
+        third = session.run("PS-PDG", workers=4, backend="processes")
+        bytes_third = sum(
+            r["payload_bytes"] for r in third.parallel_regions
+        )
+        assert bytes_third >= bytes_second + module_bytes
+
+    def test_module_miss_retry(self):
+        session = Session.from_kernel("EP")
+        codec = payload_codec.module_codec(session.module)
+        # Poison the parent's shipped-set for the epoch the next run
+        # will create: the parent omits the module bytes, every fresh
+        # pool worker misses, and the retry path must recover.
+        payload_codec._SHIPPED_MODULES.add(
+            (backends._POOL_EPOCH + 1, codec.key)
+        )
+        result = session.run("PS-PDG", workers=4, backend="processes")
+        assert result.output == session.execution.output
+        region = result.parallel_regions[0]
+        workers_used = sum(
+            1 for worker in region["per_worker"] if worker["iterations"]
+        )
+        assert region["payloads"] > workers_used  # retries happened
+
+    def test_decode_reports_module_miss(self):
+        assert (
+            payload_codec.decode_payload(("no-such-key", None, b"", b""))
+            is None
+        )
+
+    def test_codec_cache_reuses_by_identity(self):
+        session = Session.from_kernel("EP")
+        first = payload_codec.module_codec(session.module)
+        assert payload_codec.module_codec(session.module) is first

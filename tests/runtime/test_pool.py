@@ -33,6 +33,13 @@ class TestDesiredSize:
         monkeypatch.setattr("os.cpu_count", lambda: 64)
         assert backends._desired_pool_size(56) == backends._POOL_MAX_WORKERS
 
+    def test_default_respects_hard_cap(self, monkeypatch):
+        # The ``requested is None`` branch must honor the hard ceiling
+        # too, not just the historical min(8, cpus) heuristic.
+        monkeypatch.setattr("os.cpu_count", lambda: 32)
+        monkeypatch.setattr(backends, "_POOL_MAX_WORKERS", 4)
+        assert backends._desired_pool_size(None) == 4
+
     def test_floor_of_two(self, monkeypatch):
         monkeypatch.setattr("os.cpu_count", lambda: 1)
         assert backends._desired_pool_size(1) == 2
