@@ -70,6 +70,19 @@ def _trunc_rem(a, b):
     return a - _trunc_div(a, b) * b
 
 
+def record_write(log, storage, slot):
+    """Mark ``storage[slot]`` dirty in a write log *before* overwriting it.
+
+    The runtime's non-store mutation paths (diff merges, reduction and
+    lastprivate joins) go through this so the parent's inter-region
+    write log sees every shared-state change, not just interpreted
+    stores.  No-op cost when logging is off: callers guard on the log.
+    """
+    key = (id(storage), slot)
+    if key not in log:
+        log[key] = (storage, storage[slot])
+
+
 class _Frame:
     __slots__ = ("function", "args", "registers", "objects", "global_overlay")
 
@@ -129,7 +142,7 @@ class Interpreter:
     def global_values(self, name):
         return list(self._global_storage[name])
 
-    def enable_write_log(self):
+    def enable_write_log(self, log=None):
         """Record an ``(object, slot)`` dirty mark for every store.
 
         Returns the log: ``(id(storage), slot) -> (storage, value before
@@ -137,12 +150,20 @@ class Interpreter:
         pins it alive, so an id can never be recycled while the log is
         in use.  The parallel ``processes`` backend diffs shared state
         from this log (cost proportional to the writes a chunk made)
-        instead of snapshotting and re-scanning every shared slot.
+        instead of snapshotting and re-scanning every shared slot, and
+        the parent interpreter keeps one enabled *between* regions so
+        the payload codec can ship dirty-slot deltas against the pool
+        workers' resident preludes.
+
+        ``log`` lets several interpreters share one dict (the threads
+        backend's worker shims feed the parent's inter-region log, so a
+        threads-fallback region cannot mutate shared state behind the
+        resident-prelude protocol's back).
 
         Installed as an instance-level handler-table override so the
         plain sequential interpreter's store path stays branch-free.
         """
-        self.write_log = {}
+        self.write_log = {} if log is None else log
         handlers = dict(type(self)._HANDLERS)
         handlers[insts.Store] = Interpreter._exec_store_logged
         self._HANDLERS = handlers

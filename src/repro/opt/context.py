@@ -22,7 +22,7 @@ class OptContext:
     """Analyses shared by the passes of one ``optimize_plan`` call."""
 
     def __init__(self, function, module, pdg, pspdg, loops, machine,
-                 payload_bytes=None):
+                 payload_bytes=None, prelude_warm=None):
         self.function = function
         self.module = module
         self.pdg = pdg
@@ -35,6 +35,10 @@ class OptContext:
         # ``payload_bytes`` stats; feeds the serialization cost term of
         # the small-region pass.  Optional: {} means "no measurements".
         self.payload_bytes = dict(payload_bytes) if payload_bytes else {}
+        # Measured resident-prelude hit fraction per region label
+        # (``prelude_hits / payloads``): discounts the serialization
+        # cost for regions whose shared state stays cached pool-side.
+        self.prelude_warm = dict(prelude_warm) if prelude_warm else {}
         self.loops_by_header = {
             loop.header.name: loop for loop in self.loops
         }

@@ -105,19 +105,23 @@ class OptimizationResult:
 
 def optimize_plan(
     function, module, pdg, pspdg, plan, level, machine=None, loops=None,
-    payload_bytes=None,
+    payload_bytes=None, prelude_warm=None,
 ):
     """Run the ``level`` pipeline over ``plan``; never mutates the input.
 
     ``payload_bytes`` optionally maps region labels to measured
     bytes-on-wire from a previous run (the runtime's ``payload_bytes``
     stat); the small-region serialization pass folds it into the
-    machine model's dispatch-cost bar.
+    machine model's dispatch-cost bar.  ``prelude_warm`` maps the same
+    labels to measured resident-prelude hit fractions
+    (``diagnostics.payload_feedback()`` produces both), discounting the
+    bar for regions whose shared state the pool already holds.
     """
     level = OptLevel.coerce(level)
     machine = machine if machine is not None else DEFAULT_MACHINE
     ctx = OptContext(function, module, pdg, pspdg, loops, machine,
-                     payload_bytes=payload_bytes)
+                     payload_bytes=payload_bytes,
+                     prelude_warm=prelude_warm)
     report = OptReport(level=level, plan_name=plan.name)
     seeded = seed_regions(ctx, plan)
     optimized = PassManager(passes_for(level)).run(ctx, seeded, report)

@@ -31,10 +31,14 @@ class SmallRegionSerializationPass:
                 # stat) raise the process-pool bar: a region must do
                 # enough work to amortize what its payloads actually
                 # cost to ship, not just the fixed dispatch overhead.
+                # The measured resident-prelude hit rate discounts that
+                # bar — a region whose prelude stays cached in the pool
+                # workers ships dirty deltas, not state, on repeats.
                 measured = ctx.payload_bytes.get(region.label)
+                warm = ctx.prelude_warm.get(region.label, 0.0)
                 threads_bar = (
                     machine.threads_region_cost
-                    + machine.serialization_cost(measured)
+                    + machine.serialization_cost(measured, warm)
                 )
                 if cost < machine.serial_region_cost:
                     override = OVERRIDE_SEQUENTIAL

@@ -51,10 +51,46 @@ class Diagnostics:
         schedule, workers, chunk, iterations, seconds, a ``per_worker``
         list of {worker, iterations, steps, seconds}, and — for
         ``processes`` dispatches — ``payloads``, ``payload_bytes``
-        (bytes shipped to the pool for the region) and ``dirty_slots``
-        (write-log marks the workers reported).
+        (bytes shipped to the pool for the region), ``dirty_slots``
+        (write-log marks the workers reported), plus the resident-
+        prelude columns ``prelude_hits`` (payloads served from resident
+        worker state), ``prelude_misses`` (full-state retries), and
+        ``prelude_bytes_saved`` (estimated state bytes the hits
+        avoided shipping).
         """
         self.parallel_regions.append(dict(region))
+
+    def payload_feedback(self):
+        """Measured wire feedback for ``optimize_plan``, per region label.
+
+        Returns ``(payload_bytes, prelude_warm)``: average bytes-on-wire
+        per dispatch and the resident-prelude hit fraction, aggregated
+        over every recorded execution of each region.  Feed these to
+        ``optimize_plan(payload_bytes=..., prelude_warm=...)`` so the
+        small-region pass prices regions at what their dispatches
+        *actually* cost — cached preludes included — instead of at the
+        cold-start worst case.
+        """
+        totals = {}
+        for region in self.parallel_regions:
+            payloads = region.get("payloads", 0)
+            if not payloads:
+                continue
+            entry = totals.setdefault(
+                region["header"], {"bytes": 0, "payloads": 0, "hits": 0}
+            )
+            entry["bytes"] += region.get("payload_bytes", 0)
+            entry["payloads"] += payloads
+            entry["hits"] += region.get("prelude_hits", 0)
+        payload_bytes = {
+            label: entry["bytes"] // max(1, entry["payloads"])
+            for label, entry in totals.items()
+        }
+        prelude_warm = {
+            label: entry["hits"] / entry["payloads"]
+            for label, entry in totals.items()
+        }
+        return payload_bytes, prelude_warm
 
     def runs(self, stage):
         """How many times ``stage`` actually executed (0 if never)."""
@@ -95,14 +131,21 @@ class Diagnostics:
         }
 
     def parallel_report(self):
-        """A printable per-region, per-worker execution table."""
+        """A printable per-region, per-worker execution table.
+
+        The ``phit``/``pmiss``/``saved`` columns are the resident-
+        prelude protocol: payloads served from resident worker state,
+        full-state miss retries, and the estimated bytes the hits kept
+        off the wire.
+        """
         if not self.parallel_regions:
             return "no parallel regions executed"
         lines = [
             f"{'loop':16} {'backend':26} {'sched':8} {'W':>2} "
-            f"{'iters':>6} {'bytes':>8} {'seconds':>9}  per-worker steps"
+            f"{'iters':>6} {'bytes':>8} {'phit':>4} {'pmiss':>5} "
+            f"{'saved':>8} {'seconds':>9}  per-worker steps"
         ]
-        lines.append("-" * 97)
+        lines.append("-" * 117)
         for region in self.parallel_regions:
             steps = "/".join(
                 str(worker["steps"]) for worker in region["per_worker"]
@@ -112,6 +155,9 @@ class Diagnostics:
                 f"{region['schedule']:8} {region['workers']:>2} "
                 f"{region['iterations']:>6} "
                 f"{region.get('payload_bytes', 0):>8} "
+                f"{region.get('prelude_hits', 0):>4} "
+                f"{region.get('prelude_misses', 0):>5} "
+                f"{region.get('prelude_bytes_saved', 0):>8} "
                 f"{region['seconds']:>9.4f}  "
                 f"{steps}"
             )

@@ -28,6 +28,13 @@ class MachineModel:
     serialization pass adds :meth:`serialization_cost` to the
     ``threads_region_cost`` bar when measured bytes are available,
     raising the bar for regions whose payloads proved expensive.
+
+    ``prelude_cache_discount`` is the fraction of that byte cost a
+    *warm* dispatch avoids under the runtime's resident-prelude
+    protocol (wire format v2): once the pool workers hold a region's
+    shared state resident, repeat dispatches ship dirty deltas instead
+    of the prelude, so the small-region pass must stop penalizing
+    regions whose measured hit rate shows their prelude is cached.
     """
 
     cores: int = 56
@@ -35,16 +42,25 @@ class MachineModel:
     serial_region_cost: int = 512
     threads_region_cost: int = 2048
     payload_cost_per_byte: float = 0.01
+    prelude_cache_discount: float = 0.75
 
     @property
     def chunk_choices(self):
         return len(self.chunk_sizes)
 
-    def serialization_cost(self, payload_bytes):
-        """Measured wire bytes -> estimated instruction-equivalents."""
+    def serialization_cost(self, payload_bytes, warm_fraction=0.0):
+        """Measured wire bytes -> estimated instruction-equivalents.
+
+        ``warm_fraction`` is the share of the region's dispatches served
+        from resident worker state (``prelude_hits / payloads``); each
+        warm dispatch pays only ``1 - prelude_cache_discount`` of the
+        per-byte cost.
+        """
         if not payload_bytes:
             return 0
-        return int(payload_bytes * self.payload_cost_per_byte)
+        warm = min(max(warm_fraction, 0.0), 1.0)
+        discount = 1.0 - self.prelude_cache_discount * warm
+        return int(payload_bytes * self.payload_cost_per_byte * discount)
 
 
 DEFAULT_MACHINE = MachineModel()

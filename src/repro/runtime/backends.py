@@ -14,22 +14,27 @@ frame per worker, and then hands the region to a backend:
   interpreter's storage exactly like the simulated machine; critical
   and atomic regions take real :class:`threading.Lock` locks.
 * ``processes`` — one OS process per worker (:mod:`multiprocessing`).
-  Each region is encoded by the :mod:`repro.runtime.payload` codec: the
-  shared state (global storage, enclosing frame, member loops) is
-  pickled *once* per region into a prelude that every worker's payload
-  carries, followed by that worker's small delta referencing the
-  prelude by memo id (so the encoding work is per-region, while the
-  prelude bytes still ship once per worker); the module itself travels
-  as persistent ids against a per-pool-worker decoded-module cache,
-  its bytes broadcast at most once per pool recycle epoch.  The child executes
-  its iterations at full sequential-interpreter speed with a store-path
+  Each region is encoded by the :mod:`repro.runtime.payload` codec
+  (wire format v2): the pool workers keep the decoded shared state
+  *resident* across dispatches, keyed by a content-hash chain, so a
+  steady-state region ships only the slots the parent dirtied since the
+  previous dispatch (tracked by the parent interpreter's inter-region
+  write log) plus each worker's small frame delta; the full state
+  travels only on a cold stream, a worker's prelude miss (same
+  miss/retry handshake the module codec uses), or under
+  ``VERIFY_PRELUDE``.  The module itself travels as persistent ids
+  against a per-pool-worker decoded-module cache, its bytes broadcast
+  at most once per pool recycle epoch.  The child executes its
+  iterations at full sequential-interpreter speed with a store-path
   write log and sends back its private reduction/lastprivate values
   plus a slot-level diff of the shared storage it wrote — computed from
-  the log, so merge cost is proportional to the writes made.  The
-  parent applies diffs and merges reductions in worker order, so
-  results are deterministic.  Loops whose bodies contain
-  ``critical``/``atomic`` regions need shared memory and fall back to
-  the ``threads`` backend.
+  the log, then *rolled back* so the resident state returns to the
+  parent's pre-dispatch image.  The parent collects every result, then
+  applies diffs and merges reductions in worker order, so results are
+  deterministic.  Loops whose bodies contain ``critical``/``atomic``
+  regions need shared memory and fall back to the ``threads`` backend
+  (whose worker shims feed the parent's write log, keeping the
+  resident deltas exact).
 
 All backends consume the same :class:`ChunkScheduler` partition, so a
 given ``(schedule, chunk, workers)`` triple executes the same
@@ -44,7 +49,7 @@ import threading
 import time
 
 import repro.runtime.payload as payload_codec
-from repro.emulator.interp import Interpreter
+from repro.emulator.interp import Interpreter, record_write
 from repro.ir.instructions import Terminator
 from repro.util.errors import EmulationError, PlanError
 
@@ -85,6 +90,11 @@ class ParallelRegion:
     payload_bytes: int = 0  # bytes shipped to the pool for this region
     dirty_slots: int = 0  # (object, slot) write marks reported by workers
     naive_payload_bytes: int = 0  # legacy-codec bytes (bench mode only)
+    prelude_hits: int = 0  # payloads served from resident worker state
+    prelude_misses: int = 0  # payloads retried with the full state attached
+    prelude_bytes_saved: int = 0  # estimated state bytes the hits avoided
+    retry_payload_bytes: int = 0  # bytes of miss-retry round-trips (timing-
+    # dependent: how often pool scheduling let a worker fall behind)
 
 
 class ExecutionBackend:
@@ -118,11 +128,16 @@ class _WorkerInterpreter(Interpreter):
     never rebuilds it from initializers.
     """
 
-    def __init__(self, module, global_storage, max_steps):
+    def __init__(self, module, global_storage, max_steps, write_log=None):
         # global_storage is the run's live storage: shared with the
         # parent for threads, this worker's deserialized copy for
         # processes.
         super().__init__(module, max_steps, global_storage=global_storage)
+        if write_log is not None:
+            # Feed the parent's inter-region write log (threads shims):
+            # shared-state writes made here must reach the resident-
+            # prelude dirty deltas like any parent-side store.
+            self.enable_write_log(write_log)
 
     def run_chunk(self, loop, frame, iterations, locks):
         """Execute ``iterations`` of ``loop``'s body on ``frame``."""
@@ -240,7 +255,8 @@ class ThreadsBackend(ExecutionBackend):
         def job(worker):
             start = time.perf_counter()
             shim = _WorkerInterpreter(
-                interp.module, interp._global_storage, interp.max_steps
+                interp.module, interp._global_storage, interp.max_steps,
+                write_log=interp.write_log,
             )
             # Member segments run back-to-back with no barrier: fusion
             # legality keeps every cross-member dependence within one
@@ -323,6 +339,12 @@ def _chunk_pool(requested=None):
         if stale:
             old, _POOL = _POOL, None
             old.shutdown(wait=False, cancel_futures=True)
+            # The recycled workers' decoded-module and resident-prelude
+            # caches died with them; drop the parent-side bookkeeping
+            # that assumed they were primed so nothing leaks into (or
+            # from) the next generation.  (The module-bytes LRU itself
+            # survives — valid across epochs, expensive to rebuild.)
+            payload_codec.invalidate_pool_caches()
         if _POOL is None:
             _POOL = concurrent.futures.ProcessPoolExecutor(
                 max_workers=size,
@@ -368,14 +390,18 @@ def _pool_chunk_entry(wire):
 
     ``wire`` is a :meth:`~repro.runtime.payload.WorkerPayload.wire`
     tuple.  Never raises — errors come back as ``{"error": ...}`` so one
-    bad chunk cannot poison the shared pool, and a worker that has not
-    seen the module bytes of this pool epoch reports
-    ``{"module_miss": key}`` so the parent can retry with them attached.
+    bad chunk cannot poison the shared pool; a worker that has not seen
+    the module bytes of this pool epoch reports ``{"module_miss": key}``
+    and one without the payload's resident prelude state reports
+    ``{"prelude_miss": stream_id}``, so the parent can retry with the
+    missing stream attached.
     """
     try:
-        payload = payload_codec.decode_payload(wire)
-        if payload is None:
+        payload, miss = payload_codec.decode_payload(wire)
+        if miss == "module":
             return {"module_miss": wire[0]}
+        if miss == "prelude":
+            return {"prelude_miss": wire[2]}
         frame = payload["frame"]
         segments = payload["segments"]  # [(loop, iterations), ...]
         global_storage = payload["global_storage"]
@@ -397,41 +423,53 @@ def _pool_chunk_entry(wire):
         snapshot = None
         if payload.get("verify_diffs"):
             snapshot = payload_codec.snapshot_shared(index)
-        start = time.perf_counter()
-        for loop, iterations in segments:
-            if iterations:
-                shim.run_chunk(loop, frame, iterations, _NullLocks())
-        seconds = time.perf_counter() - start
+        try:
+            start = time.perf_counter()
+            for loop, iterations in segments:
+                if iterations:
+                    shim.run_chunk(loop, frame, iterations, _NullLocks())
+            seconds = time.perf_counter() - start
 
-        diffs = payload_codec.diff_write_log(log, index)
-        if snapshot is not None:
-            expected = payload_codec.diff_snapshot(snapshot, index)
-            if tuple(expected) != tuple(diffs):
-                return {
-                    "error": "write-log diff diverged from snapshot diff: "
-                    f"log={diffs!r} snapshot={expected!r}"
-                }
-        global_diffs, alloca_diffs, arg_diffs = diffs
+            diffs = payload_codec.diff_write_log(log, index)
+            if snapshot is not None:
+                expected = payload_codec.diff_snapshot(snapshot, index)
+                if tuple(expected) != tuple(diffs):
+                    return {
+                        "error": "write-log diff diverged from snapshot "
+                        f"diff: log={diffs!r} snapshot={expected!r}"
+                    }
+            global_diffs, alloca_diffs, arg_diffs = diffs
 
-        return {
-            "steps": shim.steps,
-            "output": shim.output,
-            "seconds": seconds,
-            "dirty_slots": len(log),
-            "global_diffs": global_diffs,
-            "alloca_diffs": alloca_diffs,
-            "arg_diffs": arg_diffs,
-            "global_privates": {
-                name: list(frame.global_overlay[name])
-                for name in private_globals
-            },
-            "alloca_privates": {
-                inst.uid: list(storage)
-                for inst, storage in frame.objects.items()
-                if inst.uid in private_alloca_uids
-            },
-        }
+            return {
+                "steps": shim.steps,
+                "output": shim.output,
+                "seconds": seconds,
+                "dirty_slots": len(log),
+                "global_diffs": global_diffs,
+                "alloca_diffs": alloca_diffs,
+                "arg_diffs": arg_diffs,
+                "global_privates": {
+                    name: list(frame.global_overlay[name])
+                    for name in private_globals
+                },
+                "alloca_privates": {
+                    inst.uid: list(storage)
+                    for inst, storage in frame.objects.items()
+                    if inst.uid in private_alloca_uids
+                },
+            }
+        finally:
+            # Restore the resident state to the parent's pre-dispatch
+            # image (the diff values above were already extracted): a
+            # sibling payload of this region — or the next region's
+            # dirty delta — must find exactly the state the parent's
+            # hash chain says this worker holds.
+            payload_codec.rollback_writes(log)
     except BaseException as exc:  # report, never poison the pool
+        # The resident state may be torn (a failed decode or rollback):
+        # dropping it forces a clean full-state retry on the next
+        # payload of this stream instead of silent divergence.
+        payload_codec.discard_resident(wire[2])
         return {"error": f"{type(exc).__name__}: {exc}"}
 
 
@@ -460,6 +498,10 @@ class ProcessesBackend(ExecutionBackend):
         if not active:
             return
         pool = _chunk_pool(interp.pool_size)
+        prelude = getattr(interp, "_prelude_codec", None)
+        if prelude is None:
+            prelude = payload_codec.PreludeCodec(log=interp.write_log)
+            interp._prelude_codec = prelude
         encoded = payload_codec.encode_region(
             module=interp.module,
             frame=region.frame,
@@ -468,6 +510,7 @@ class ProcessesBackend(ExecutionBackend):
             max_steps=interp.max_steps,
             workers=active,
             epoch=_POOL_EPOCH,
+            prelude=prelude,
         )
         submitted = []
         for worker, worker_payload in zip(active, encoded.workers):
@@ -480,11 +523,12 @@ class ProcessesBackend(ExecutionBackend):
         region.payload_bytes = encoded.wire_bytes
         region.naive_payload_bytes = encoded.naive_bytes
 
-        shared_allocas = {
-            inst.uid: storage
-            for inst, storage in region.frame.objects.items()
-        }
+        # Collect every result before applying any of them: retries of
+        # module/prelude misses ship the *pre-dispatch* state, so no
+        # worker's shared-memory effects may land until the whole
+        # region is in.
         failure = None
+        completed = []  # (worker, result) in worker order
         allowance = _region_allowance(interp.max_steps)
         deadline = time.monotonic() + allowance  # for the whole region
         for worker, future, worker_payload in submitted:  # worker order
@@ -492,16 +536,39 @@ class ProcessesBackend(ExecutionBackend):
                 result = future.result(
                     timeout=max(0.0, deadline - time.monotonic())
                 )
-                if failure is None and result.get("module_miss"):
+                missed = result.get("module_miss") or result.get(
+                    "prelude_miss"
+                )
+                if failure is None and missed:
                     # This pool worker joined after the epoch's module
-                    # broadcast: retry its payload (only) with the
-                    # module bytes attached.
-                    refreshed = worker_payload.with_module(encoded.codec)
+                    # broadcast (or lacks this stream's resident
+                    # state): retry its payload (only) with the bytes
+                    # it is missing attached.
+                    refreshed = worker_payload
+                    if result.get("module_miss"):
+                        # A brand-new pool worker: broadcast catch-up,
+                        # not a resident-protocol failure.
+                        refreshed = refreshed.with_module(encoded.codec)
+                    elif result.get("prelude_miss"):
+                        # A worker with the module but out-of-window
+                        # resident state: deepen the delta window so
+                        # laggards stay on the resident path next time.
+                        encoded.prelude.note_miss()
+                        region.prelude_misses += 1
+                    refreshed = refreshed.with_state(encoded.state_bytes())
                     region.payloads += 1
                     region.payload_bytes += refreshed.wire_bytes
+                    region.retry_payload_bytes += refreshed.wire_bytes
                     result = pool.submit(
                         _pool_chunk_entry, refreshed.wire()
                     ).result(timeout=max(0.0, deadline - time.monotonic()))
+                elif (
+                    failure is None
+                    and worker_payload.state_bytes is None
+                    and "error" not in result
+                ):
+                    region.prelude_hits += 1
+                    region.prelude_bytes_saved += encoded.prelude.full_len
             except concurrent.futures.process.BrokenProcessPool as exc:
                 _reset_chunk_pool()
                 failure = failure or EmulationError(
@@ -528,10 +595,11 @@ class ProcessesBackend(ExecutionBackend):
                 continue
             if failure is not None:
                 continue
-            if result.get("module_miss"):
+            if result.get("module_miss") or result.get("prelude_miss"):
                 failure = EmulationError(
-                    f"worker process {worker.index} still missing module "
-                    f"{result['module_miss']} after a retry with its bytes"
+                    f"worker process {worker.index} still missing "
+                    f"{'module' if result.get('module_miss') else 'prelude'}"
+                    " state after a retry with it attached"
                 )
                 continue
             if "error" in result:
@@ -540,9 +608,15 @@ class ProcessesBackend(ExecutionBackend):
                     f"{result['error']}"
                 )
                 continue
-            self._apply(interp, region, worker, result, shared_allocas)
+            completed.append((worker, result))
         if failure is not None:
             raise failure
+        shared_allocas = {
+            inst.uid: storage
+            for inst, storage in region.frame.objects.items()
+        }
+        for worker, result in completed:  # worker order: deterministic
+            self._apply(interp, region, worker, result, shared_allocas)
 
     def _apply(self, interp, region, worker, result, shared_allocas):
         worker.steps = result["steps"]
@@ -552,15 +626,26 @@ class ProcessesBackend(ExecutionBackend):
         region.dirty_slots += result.get("dirty_slots", 0)
         # Shared-memory effects, applied in worker order (deterministic;
         # a correct DOALL's shared writes are disjoint across workers).
+        # Each write is marked in the parent's inter-region log first:
+        # the pool workers rolled their copies back, so these merges are
+        # exactly what the next region's dirty delta must re-ship.
+        log = interp.write_log
         for name, slot, value in result["global_diffs"]:
-            interp._effective_global(region.frame, name)[slot] = value
+            storage = interp._effective_global(region.frame, name)
+            if log is not None:
+                record_write(log, storage, slot)
+            storage[slot] = value
         for uid, slot, value in result["alloca_diffs"]:
             storage = shared_allocas.get(uid)
             if storage is not None:
+                if log is not None:
+                    record_write(log, storage, slot)
                 storage[slot] = value
         for index, slot, value in result["arg_diffs"]:
             pointer = region.frame.args[index]
             if isinstance(pointer, tuple) and len(pointer) == 2:
+                if log is not None:
+                    record_write(log, pointer[0], slot)
                 pointer[0][slot] = value
         # Private copies: write the child's final values back into the
         # parent-side worker frame so the generic join sees them.

@@ -42,7 +42,7 @@ import time
 from repro.analysis.deptests import loop_iv_range  # noqa: F401 (re-export)
 from repro.analysis.loops import find_natural_loops
 from repro.analysis.reductions import REDUCIBLE_OPS  # noqa: F401 (re-export)
-from repro.emulator.interp import Interpreter, _Frame
+from repro.emulator.interp import Interpreter, _Frame, record_write
 from repro.ir.instructions import Terminator
 from repro.ir.types import FLOAT
 from repro.ir.values import Argument, GlobalVariable
@@ -496,7 +496,8 @@ class ParallelInterpreter(Interpreter):
 
     def __init__(self, module, parallelizations, workers=4, seed=0,
                  max_steps=50_000_000, backend="simulated",
-                 schedule="static", chunk=None, pool_size=None):
+                 schedule="static", chunk=None, pool_size=None,
+                 prelude=None):
         super().__init__(module, max_steps)
         if (
             not isinstance(workers, int)
@@ -512,6 +513,17 @@ class ParallelInterpreter(Interpreter):
         self.schedule = schedule
         self.chunk = chunk
         self.pool_size = pool_size  # processes-pool sizing (machine cores)
+        if self.backend.name == "processes":
+            # Track every shared-state write between region dispatches:
+            # the payload codec ships dirty-slot deltas against the pool
+            # workers' resident preludes instead of re-pickling the full
+            # shared state per region.
+            self.enable_write_log()
+            if prelude is not None:
+                # A caller-owned prelude codec (Session handoff): the
+                # resident-state hash chain continues across runs.
+                prelude.adopt_log(self.write_log)
+                self._prelude_codec = prelude
         regions = [_as_region(p) for p in parallelizations]
         self._regions = {region.header: region for region in regions}
         for region in regions:
@@ -531,6 +543,22 @@ class ParallelInterpreter(Interpreter):
         result = super().run(function_name, args, profiler)
         result.parallel_regions = list(self.parallel_regions)
         return result
+
+    def invalidate_prelude(self):
+        """Forget the pool workers' resident shared state.
+
+        Required after mutating shared storage *behind the write log's
+        back* (e.g. poking ``global_values`` storage directly between
+        regions): the next region ships the full prelude instead of a
+        dirty delta that would silently miss the mutation.  The
+        ``VERIFY_PRELUDE`` mode exists to catch exactly the cases where
+        this call was forgotten.
+        """
+        prelude = getattr(self, "_prelude_codec", None)
+        if prelude is not None:
+            prelude.invalidate()
+        if self.write_log is not None:
+            self.write_log.clear()
 
     # -- loop takeover ---------------------------------------------------------
 
@@ -620,6 +648,10 @@ class ParallelInterpreter(Interpreter):
             "payload_bytes": region.payload_bytes,
             "dirty_slots": region.dirty_slots,
             "naive_payload_bytes": region.naive_payload_bytes,
+            "prelude_hits": region.prelude_hits,
+            "prelude_misses": region.prelude_misses,
+            "prelude_bytes_saved": region.prelude_bytes_saved,
+            "retry_payload_bytes": region.retry_payload_bytes,
             "seconds": elapsed,
             "per_worker": [
                 {
@@ -913,11 +945,17 @@ class ParallelInterpreter(Interpreter):
                     continue
                 seen.add((id(storage), op))
                 merged_reductions.append((storage, op))
+        # Join writes are marked in the parent's inter-region write log
+        # (enabled for processes runs) so the resident-prelude deltas
+        # ship them; the log is None on other backends.
+        log = self.write_log
         for storage, op in merged_reductions:
             shared = self._shared_storage(storage, frame)
             for worker in workers:
                 private = self._private_storage(worker, storage)
                 for slot in range(len(shared)):
+                    if log is not None:
+                        record_write(log, shared, slot)
                     shared[slot] = self._merge(op, shared[slot], private[slot])
         # Lastprivate writes back per member: the worker that executed
         # the member's final iteration owns the sequential final state.
@@ -937,6 +975,9 @@ class ParallelInterpreter(Interpreter):
             for storage in recipe.lastprivate:
                 shared = self._shared_storage(storage, frame)
                 private = self._private_storage(owner, storage)
+                if log is not None:
+                    for slot in range(len(shared)):
+                        record_write(log, shared, slot)
                 shared[:] = private
 
     def _effective_global(self, frame, name):
@@ -985,11 +1026,15 @@ def run_parallel(
     schedule="static",
     chunk=None,
     pool_size=None,
+    prelude=None,
 ):
     """Execute ``function_name`` with the given loop parallelizations.
 
     ``parallelizations`` may mix :class:`LoopParallelization` (one loop,
     one region) and :class:`RegionParallelization` (fused) entries.
+    ``prelude`` optionally carries a caller-owned
+    :class:`~repro.runtime.payload.PreludeCodec` so the ``processes``
+    backend's resident-state stream survives across runs.
     """
     interpreter = ParallelInterpreter(
         module,
@@ -1000,6 +1045,7 @@ def run_parallel(
         schedule=schedule,
         chunk=chunk,
         pool_size=pool_size,
+        prelude=prelude,
     )
     return interpreter.run(function_name)
 
@@ -1086,7 +1132,7 @@ def recipes_from_plan(module, pspdg, plan, function):
 
 def run_plan(module, pspdg, plan, function_name="main", workers=4, seed=0,
              backend="simulated", schedule="static", chunk=None,
-             opt_level=None, machine=None, pool_size=None):
+             opt_level=None, machine=None, pool_size=None, prelude=None):
     """Execute a :class:`ProgramPlan` chosen from the PS-PDG.
 
     This is the runtime entry point :meth:`repro.Session.run` uses: the
@@ -1110,12 +1156,12 @@ def run_plan(module, pspdg, plan, function_name="main", workers=4, seed=0,
             ).plan
     regions = recipes_from_plan(module, pspdg, plan, function)
     return run_parallel(module, regions, function_name, workers, seed,
-                        backend, schedule, chunk, pool_size)
+                        backend, schedule, chunk, pool_size, prelude)
 
 
 def run_source_plan(module, function_name="main", workers=4, seed=0,
                     backend="simulated", schedule="static", chunk=None,
-                    pool_size=None):
+                    pool_size=None, prelude=None):
     """Execute the developer's OpenMP plan (all worksharing annotations)."""
     function = module.function(function_name)
     recipes = []
@@ -1128,4 +1174,4 @@ def run_source_plan(module, function_name="main", workers=4, seed=0,
                 parallelization_from_annotation(annotation, function)
             )
     return run_parallel(module, recipes, function_name, workers, seed,
-                        backend, schedule, chunk, pool_size)
+                        backend, schedule, chunk, pool_size, prelude)

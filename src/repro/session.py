@@ -386,10 +386,11 @@ class Session:
         level = (OptLevel.coerce(opt) if opt is not None
                  else self.config.opt_level)
         pool_size = self.config.machine.cores
+        prelude = self._prelude_codec()
         if plan is None or plan in ("source", "OpenMP"):
             result = run_source_plan(
                 self.module, self.config.function_name, workers, seed,
-                backend, schedule, chunk, pool_size,
+                backend, schedule, chunk, pool_size, prelude,
             )
         elif isinstance(plan, str):
             if level == self.config.opt_level:
@@ -398,7 +399,7 @@ class Session:
                 regions = self._regions_at_level(plan, level)
             result = run_parallel(
                 self.module, regions, self.config.function_name, workers,
-                seed, backend, schedule, chunk, pool_size,
+                seed, backend, schedule, chunk, pool_size, prelude,
             )
         else:
             # Explicit ProgramPlan: optimize here, against the session's
@@ -417,10 +418,28 @@ class Session:
                 schedule,
                 chunk,
                 pool_size=pool_size,
+                prelude=prelude,
             )
         for region in result.parallel_regions:
             self.diagnostics.record_parallel(region)
         return result
+
+    def _prelude_codec(self):
+        """This session's resident-prelude stream (processes backend).
+
+        One codec for the session's lifetime: the pool workers' resident
+        shared state — and its hash chain — survives across ``run``
+        calls, so only the state a run boundary actually changed is
+        re-shipped (the codec rebinds itself onto each fresh
+        interpreter's storages by value diff).
+        """
+        codec = getattr(self, "_prelude_codec_obj", None)
+        if codec is None:
+            from repro.runtime.payload import PreludeCodec
+
+            codec = PreludeCodec()
+            self._prelude_codec_obj = codec
+        return codec
 
     def _cached_regions(self, abstraction):
         recipes = self.region_recipes

@@ -14,6 +14,24 @@ if _TESTS_DIR not in sys.path:
     sys.path.insert(0, _TESTS_DIR)
 
 
+@pytest.fixture(autouse=True)
+def _fresh_codec_caches():
+    """Reset the payload codec's module-global caches around every test.
+
+    The codec keeps parent-side module byte caches, per-epoch broadcast
+    bookkeeping, and (in-process) decoded-module/resident-prelude caches;
+    without this fixture a test's observed wire bytes would depend on
+    which session happened to dispatch first in the same process.
+    Deliberately does *not* recycle the chunk pool — forking a pool per
+    test would dominate suite runtime; tests that need a cold pool use
+    their own fixture.
+    """
+    from repro.runtime import payload
+
+    payload.reset_codec_caches()
+    yield
+
+
 @pytest.fixture
 def compile_():
     """Compile MiniOMP source to a verified module."""

@@ -264,6 +264,37 @@ def test_diagnostics_report_renders(session):
     assert as_dict["pspdg"]["stats"]["hierarchical_nodes"] > 0
 
 
+def test_payload_feedback_aggregates_per_label():
+    from repro.pipeline.diagnostics import Diagnostics
+
+    diagnostics = Diagnostics()
+    diagnostics.record_parallel({
+        "header": "L1", "payloads": 4, "payload_bytes": 4000,
+        "prelude_hits": 0, "per_worker": [],
+    })
+    diagnostics.record_parallel({
+        "header": "L1", "payloads": 4, "payload_bytes": 400,
+        "prelude_hits": 4, "per_worker": [],
+    })
+    diagnostics.record_parallel({
+        "header": "L2", "payloads": 2, "payload_bytes": 600,
+        "prelude_hits": 1, "per_worker": [],
+    })
+    diagnostics.record_parallel({
+        "header": "seq", "payloads": 0, "per_worker": [],
+    })
+    payload_bytes, prelude_warm = diagnostics.payload_feedback()
+    assert payload_bytes == {"L1": 4400 // 8, "L2": 300}
+    assert prelude_warm == {"L1": 0.5, "L2": 0.5}
+    assert "seq" not in payload_bytes
+
+
+def test_parallel_report_shows_prelude_columns(session):
+    session.run("PS-PDG", workers=2, backend="processes")
+    report = session.diagnostics.parallel_report()
+    assert "phit" in report and "pmiss" in report and "saved" in report
+
+
 # -- the CLI ------------------------------------------------------------------
 
 

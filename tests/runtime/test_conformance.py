@@ -136,7 +136,13 @@ def test_opt_levels_conform(kernel, backend, kernel_state, optimized_plans):
 
 
 def test_opt_never_dispatches_more_payloads(kernel_state, optimized_plans):
-    """On ``processes``, -O2 must not increase pool payloads anywhere."""
+    """On ``processes``, -O2 must not increase pool payloads anywhere.
+
+    Counted from the per-worker assignments — the optimizer's dispatch
+    structure — because raw ``payloads`` also include miss-retry
+    round-trips of the resident-prelude protocol, which depend on pool
+    scheduling timing, not on the optimization level.
+    """
     for kernel in kernel_names():
         session, plan, _expected = kernel_state[kernel]
         counts = {}
@@ -147,7 +153,11 @@ def test_opt_never_dispatches_more_payloads(kernel_state, optimized_plans):
                 workers=4, backend="processes",
             )
             counts[label] = sum(
-                region["payloads"] for region in result.parallel_regions
+                1
+                for region in result.parallel_regions
+                if region["payloads"]
+                for worker in region["per_worker"]
+                if worker["iterations"]
             )
         assert counts["O2"] <= counts["O0"], (
             f"{kernel}: -O2 dispatched {counts['O2']} payloads vs "

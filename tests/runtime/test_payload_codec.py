@@ -1,12 +1,13 @@
-"""Region payload codec invariants (processes backend wire format).
+"""Region payload codec invariants (processes backend wire format v2).
 
 The codec must be a pure re-encoding of what the seed shipped: the same
-region encodes to byte-identical shared preludes, a decoded worker frame
-preserves the register→storage aliasing the child's diff and write-back
-rely on, the write-log diff is byte-for-byte the legacy snapshot diff on
-every NAS kernel, and the module's bytes travel at most once per pool
-recycle epoch (with the miss/retry path covering pool workers that
-joined late).
+region (from the same codec state) encodes to byte-identical streams, a
+decoded worker frame preserves the register→storage aliasing the child's
+diff and write-back rely on, the write-log diff is byte-for-byte the
+legacy snapshot diff on every NAS kernel, and the module's bytes travel
+at most once per pool recycle epoch (with the miss/retry path covering
+pool workers that joined late).  The resident-prelude protocol itself is
+covered by ``test_prelude_cache.py``.
 """
 
 import pytest
@@ -35,15 +36,20 @@ def captured_region(monkeypatch):
     """The encode_region outputs of a real CG processes run.
 
     Each capture holds the region's payloads plus an immediate second
-    encoding of the *same live state* (the run mutates storage right
-    after, so re-encoding later would see different values).
+    encoding of the *same live state* from a cloned codec (the codec is
+    stateful — its hash chain and write log advance per region — and the
+    run mutates storage right after, so re-encoding later would see
+    different values).
     """
     captured = []
     real = payload_codec.encode_region
 
     def spy(**kwargs):
+        twin_kwargs = dict(kwargs)
+        if twin_kwargs.get("prelude") is not None:
+            twin_kwargs["prelude"] = twin_kwargs["prelude"].clone()
         encoded = real(**kwargs)
-        captured.append((encoded, real(**kwargs)))
+        captured.append((encoded, real(**twin_kwargs)))
         return encoded
 
     monkeypatch.setattr(backends.payload_codec, "encode_region", spy)
@@ -54,30 +60,45 @@ def captured_region(monkeypatch):
 
 
 class TestEncodeDeterminism:
-    def test_same_region_encodes_byte_identical_preludes(
+    def test_same_region_encodes_byte_identical_streams(
         self, captured_region
     ):
         _session, captured = captured_region
-        # Encoding the same live region twice must reproduce the wire
-        # bytes exactly: the memo priming and the persistent-id
-        # traversal are deterministic within a session.
+        # Encoding the same live region twice (from equal codec state)
+        # must reproduce the wire bytes exactly: the persistent-id
+        # traversal, the dirty drain, and the memo priming are all
+        # deterministic within a session.
         for first, again in captured:
-            assert [p.shared_bytes for p in again.workers] == [
-                p.shared_bytes for p in first.workers
+            assert [p.header_bytes for p in again.workers] == [
+                p.header_bytes for p in first.workers
             ]
             assert [p.delta_bytes for p in again.workers] == [
                 p.delta_bytes for p in first.workers
             ]
-            assert len(set(p.shared_bytes for p in first.workers)) == 1
+            assert [p.state_bytes for p in again.workers] == [
+                p.state_bytes for p in first.workers
+            ]
+            assert len(set(p.header_bytes for p in first.workers)) == 1
+            assert [p.next_key for p in again.workers] == [
+                p.next_key for p in first.workers
+            ]
 
-    def test_deltas_are_small_relative_to_prelude(self, captured_region):
+    def test_warm_regions_ship_no_state(self, captured_region):
         _session, captured = captured_region
-        for encoded, _again in captured:
-            for worker_payload in encoded.workers:
-                assert (
-                    len(worker_payload.delta_bytes)
-                    < len(worker_payload.shared_bytes)
-                )
+        cold, warm = captured[0][0], [enc for enc, _ in captured[1:]]
+        assert all(p.state_bytes is not None for p in cold.workers)
+        assert warm and any(
+            p.state_bytes is None for enc in warm for p in enc.workers
+        )
+
+    def test_deltas_are_small_relative_to_state(self, captured_region):
+        _session, captured = captured_region
+        encoded, _again = captured[0]
+        for worker_payload in encoded.workers:
+            assert (
+                len(worker_payload.delta_bytes)
+                < len(worker_payload.state_bytes)
+            )
 
 
 class TestDecodedAliasing:
@@ -87,8 +108,8 @@ class TestDecodedAliasing:
         _session, captured = captured_region
         encoded, _again = captured[0]
         worker_payload = encoded.workers[0]
-        decoded = payload_codec.decode_payload(worker_payload.wire())
-        assert decoded is not None
+        decoded, miss = payload_codec.decode_payload(worker_payload.wire())
+        assert miss is None
         frame = decoded["frame"]
         shared_ids = {
             id(values) for values in decoded["global_storage"].values()
@@ -101,8 +122,8 @@ class TestDecodedAliasing:
         ]
         assert pointer_registers
         # Every materialized pointer register aims at a decoded object
-        # table entry — not at a duplicate the two-stream split would
-        # have produced.
+        # table entry — not at a duplicate an independent-unpickler
+        # split would have produced.
         assert all(
             id(storage) in shared_ids for storage, _offset in pointer_registers
         )
@@ -112,7 +133,10 @@ class TestDecodedAliasing:
     ):
         _session, captured = captured_region
         encoded, _again = captured[0]
-        decoded = payload_codec.decode_payload(encoded.workers[0].wire())
+        decoded, miss = payload_codec.decode_payload(
+            encoded.workers[0].wire()
+        )
+        assert miss is None
         frame = decoded["frame"]
         index = payload_codec.shared_index(
             frame, decoded["global_storage"], decoded["private_alloca_uids"]
@@ -122,12 +146,18 @@ class TestDecodedAliasing:
             for group in index
             for _key, storage in group
         }
+        # Prefer a store through a pre-materialized pointer register;
+        # registers are pruned to the region's live-ins, so fall back to
+        # a decoded shared object when none of them aliases the index.
         storage, offset = next(
-            value
-            for value in frame.registers.values()
-            if isinstance(value, tuple)
-            and len(value) == 2
-            and id(value[0]) in shared_ids
+            (
+                value
+                for value in frame.registers.values()
+                if isinstance(value, tuple)
+                and len(value) == 2
+                and id(value[0]) in shared_ids
+            ),
+            ((index[0] or index[1])[0][1], 0),
         )
         before = storage[offset]
         log = {(id(storage), offset): (storage, before)}
@@ -174,7 +204,7 @@ class TestModuleByteCache:
         module_bytes = len(
             payload_codec.module_codec(session.module).module_bytes
         )
-        # Run 1 broadcast the module; run 2 shipped only prelude+deltas.
+        # Run 1 broadcast the module; run 2 shipped no module bytes.
         assert bytes_first >= bytes_second + module_bytes
         # A pool recycle wipes the workers' caches: the next run must
         # broadcast again.
@@ -203,10 +233,8 @@ class TestModuleByteCache:
         assert region["payloads"] > workers_used  # retries happened
 
     def test_decode_reports_module_miss(self):
-        assert (
-            payload_codec.decode_payload(("no-such-key", None, b"", b""))
-            is None
-        )
+        wire = ("no-such-key", None, 999, (), "k", None, False, b"", b"")
+        assert payload_codec.decode_payload(wire) == (None, "module")
 
     def test_codec_cache_reuses_by_identity(self):
         session = Session.from_kernel("EP")
