@@ -5,6 +5,14 @@ Usage (CI runs this after the benchmark steps)::
     python benchmarks/check_baselines.py [--fresh-dir .] \
         [--baseline-dir benchmarks/baselines] [--tolerance 1.25]
 
+``--update`` regenerates the baselines in place instead of gating:
+every fresh ``BENCH_*.json`` in ``--fresh-dir`` is copied over its
+baseline (new files included), so refreshing after an intentional perf
+change is one command::
+
+    python -m pytest benchmarks -q && \
+        python benchmarks/check_baselines.py --update
+
 For every baseline file with a fresh counterpart, rows are matched on
 their identity fields (kernel, backend, opt level, workers, mode).
 ``payload_bytes`` — the bytes the codec actually puts on the wire —
@@ -90,6 +98,29 @@ def compare_file(name, baseline_rows, fresh_rows, tolerance):
     return failures, notes
 
 
+def update_baselines(fresh_dir, baseline_dir):
+    """Copy every fresh ``BENCH_*.json`` over its baseline, verbatim.
+
+    Fresh files with no existing baseline are added; baselines with no
+    fresh counterpart are left untouched (a partial bench run must not
+    wipe the rest of the suite's history).
+    """
+    fresh_files = sorted(Path(fresh_dir).glob("BENCH_*.json"))
+    if not fresh_files:
+        print(f"no fresh BENCH_*.json under {fresh_dir}; nothing to update")
+        return 1
+    baseline_dir = Path(baseline_dir)
+    baseline_dir.mkdir(parents=True, exist_ok=True)
+    for fresh_path in fresh_files:
+        data = json.loads(fresh_path.read_text())  # refuse malformed files
+        target = baseline_dir / fresh_path.name
+        verb = "update" if target.exists() else "add"
+        target.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        rows = data.get("rows", data) if isinstance(data, dict) else data
+        print(f"[{verb}] {target.name}: {len(rows)} row(s)")
+    return 0
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--fresh-dir", default=".", type=Path)
@@ -99,7 +130,15 @@ def main(argv=None):
         type=Path,
     )
     parser.add_argument("--tolerance", default=1.25, type=float)
+    parser.add_argument(
+        "--update", action="store_true",
+        help="copy every fresh BENCH_*.json over its baseline (adding "
+             "new ones) instead of gating",
+    )
     args = parser.parse_args(argv)
+
+    if args.update:
+        return update_baselines(args.fresh_dir, args.baseline_dir)
 
     baselines = sorted(args.baseline_dir.glob("BENCH_*.json"))
     if not baselines:

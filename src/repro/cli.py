@@ -55,6 +55,8 @@ def _build_session(program, args):
         overrides["chunk"] = args.chunk
     if getattr(args, "opt", None) is not None:
         overrides["opt_level"] = args.opt
+    if getattr(args, "compile_regions", None) is not None:
+        overrides["compile_regions"] = args.compile_regions
 
     path = pathlib.Path(program)
     if path.exists():
@@ -280,6 +282,13 @@ def build_parser():
     p_run.add_argument(
         "--chunk", type=int, default=None,
         help="chunk-size override (default: each loop recipe's own)",
+    )
+    p_run.add_argument(
+        "--compile", dest="compile_regions",
+        action=argparse.BooleanOptionalAction, default=None,
+        help="run region bodies through the exec-compiled codegen path "
+             "(--no-compile forces the interpreter; default: the "
+             "REPRO_COMPILE environment knob)",
     )
     p_run.add_argument(
         "--verify", action="store_true",

@@ -1,0 +1,66 @@
+"""Compiled-chunk cache, keyed by module object identity.
+
+Chunk functions close over IR *objects* (alloca keys, live-in register
+keys, callee functions), so an entry is only valid for the exact module
+instance it was compiled from.  Content hashes are not enough: the
+processes backend's children cap their decoded-module cache and may
+re-decode the same ``module_key`` into *new* objects, and a stale entry
+would then silently write through stale alloca keys into orphaned
+storage.  A :class:`weakref.WeakKeyDictionary` keyed by the module
+object makes staleness impossible and lets evicted modules drop their
+entries with them.
+
+``None`` entries memoize lowering refusals so an unsupported loop costs
+one failed compile, not one per chunk.
+"""
+
+import time
+import weakref
+
+from repro.codegen.lower import Unsupported, compile_chunk
+
+_FN_CACHE = weakref.WeakKeyDictionary()
+
+STATS = {"compiles": 0, "hits": 0, "fallbacks": 0, "seconds": 0.0}
+
+
+def compiled_chunk(module, loop, logged, module_key=None):
+    """The cached :class:`CompiledChunk` for ``(loop, logged)``, or ``None``.
+
+    ``None`` means the lowering refused the loop (or codegen itself
+    failed) — run it interpreted.  Never raises.
+    """
+    per_module = _FN_CACHE.get(module)
+    if per_module is None:
+        per_module = _FN_CACHE[module] = {}
+    key = (loop.header.parent.name, loop.header.name, bool(logged))
+    if key in per_module:
+        STATS["hits"] += 1
+        return per_module[key]
+    start = time.perf_counter()
+    try:
+        entry = compile_chunk(loop, logged, module_key=module_key)
+        STATS["compiles"] += 1
+    except Unsupported:
+        entry = None
+        STATS["fallbacks"] += 1
+    except Exception:
+        # Fallback, never fail: a codegen bug must not take down a run
+        # the interpreter can complete.
+        entry = None
+        STATS["fallbacks"] += 1
+    STATS["seconds"] += time.perf_counter() - start
+    per_module[key] = entry
+    return entry
+
+
+def reset():
+    """Drop all cached entries and zero the counters (test isolation)."""
+    _FN_CACHE.clear()
+    STATS.update({"compiles": 0, "hits": 0, "fallbacks": 0,
+                  "seconds": 0.0})
+
+
+def stats():
+    """A snapshot of the compile/hit/fallback/time counters."""
+    return dict(STATS)

@@ -1,0 +1,208 @@
+"""Runtime support for compiled chunks: helpers, fallback, verify oracle.
+
+Generated chunk functions close over this module (the ``H`` argument of
+the generated factory) for everything the interpreter's handlers did
+out-of-line: truncating division, the guarded ``math.*`` unary ops, and
+the :class:`EmulationError`/:class:`Bailout` types.
+
+:func:`execute_chunk` is the single entry the backends call per
+``(loop, iterations)`` segment.  It runs the compiled body when one
+exists, falls back to ``shim.run_chunk`` on a missing entry or a
+:class:`Bailout` (a live-in the frame does not carry — raised before
+any side effect), and under ``VERIFY_COMPILED`` runs *both* and diffs
+their write logs, outputs, and step counts in-process, keeping the
+interpreted run's effects (the interpreter is the authority).
+"""
+
+import math
+
+from repro.util.errors import EmulationError
+
+
+class Bailout(Exception):
+    """Compiled entry bindings failed; re-run the chunk interpreted.
+
+    Raised only before the chunk's first side effect (all entry
+    bindings — induction storage, live-in registers, arguments,
+    globals — happen up front), so the interpreter fallback replays the
+    chunk from an untouched state.
+    """
+
+
+# -- helpers the generated code binds as locals --------------------------------
+
+from repro.emulator.interp import _trunc_div as trunc_div  # noqa: E402
+from repro.emulator.interp import _trunc_rem as trunc_rem  # noqa: E402
+
+
+def u_not(value):
+    return (not value) if isinstance(value, bool) else ~value
+
+
+def _guarded(op, fn):
+    def helper(value):
+        try:
+            return fn(value)
+        except ValueError as error:
+            raise EmulationError(f"math error in {op}: {error}") from None
+
+    helper.__name__ = f"u_{op}"
+    return helper
+
+
+u_sqrt = _guarded("sqrt", math.sqrt)
+u_sin = _guarded("sin", math.sin)
+u_cos = _guarded("cos", math.cos)
+u_exp = _guarded("exp", math.exp)
+u_log = _guarded("log", math.log)
+u_floor = _guarded("floor", lambda value: float(math.floor(value)))
+
+
+# -- chunk execution -----------------------------------------------------------
+
+
+def execute_chunk(entry, shim, loop, frame, iterations, locks,
+                  verify=False):
+    """Run one chunk; returns ``"compiled"`` or ``"interpreted"``.
+
+    ``entry`` is a :class:`~repro.codegen.lower.CompiledChunk` (or
+    ``None`` for a loop the lowering refused); ``shim`` is the backend's
+    ``_WorkerInterpreter``.  The entry's ``logged`` flag must match the
+    shim (``shim.write_log is not None``), except under ``verify`` where
+    the caller must supply a *logged* entry and a shim with the logged
+    store handler installed (the oracle needs both runs' write logs).
+    """
+    if entry is None:
+        shim.run_chunk(loop, frame, iterations, locks)
+        return "interpreted"
+    if verify:
+        return _verified(entry, shim, loop, frame, iterations, locks)
+    try:
+        entry.fn(shim, frame, iterations)
+    except Bailout:
+        shim.run_chunk(loop, frame, iterations, locks)
+        return "interpreted"
+    return "compiled"
+
+
+def _log_image(log):
+    """``(storage-id, slot) -> (before, after)`` for a run's write log.
+
+    Read *before* the writes are rolled back: ``after`` is the slot's
+    current (post-run) value.
+    """
+    return {
+        key: (before, storage[key[1]])
+        for key, (storage, before) in log.items()
+    }
+
+
+def _merge_log(real_log, scratch):
+    """Fold a scratch run's marks into the caller's log (first-write wins)."""
+    if real_log is None:
+        return
+    for key, entry in scratch.items():
+        real_log.setdefault(key, entry)
+
+
+def _verified(entry, shim, loop, frame, iterations, locks):
+    """Run the chunk compiled *and* interpreted; diff; keep interpreted.
+
+    The compiled run executes first against a scratch write log, its
+    image (writes, output slice, step delta) is captured, and every one
+    of its writes is rolled back.  The interpreted run then executes
+    from the identical pre-chunk state and its effects *stay* — so a
+    divergence aborts the region with the authoritative state in place,
+    mirroring the ``VERIFY_DIFFS``/``VERIFY_PRELUDE`` pattern of wire
+    format v2.
+
+    Safe under the threads backend because compiled-eligible regions
+    hold no critical sections — a correct DOALL's shared writes are
+    disjoint across workers, so one worker's scratch rollback cannot
+    race another worker's reads.
+    """
+    from repro.runtime.payload import rollback_writes
+
+    real_log = shim.write_log
+    out_mark = len(shim.output)
+    step_mark = shim.steps
+    scratch = {}
+    shim.write_log = scratch
+    bailed = False
+    compiled_error = None
+    try:
+        entry.fn(shim, frame, iterations)
+    except Bailout:
+        bailed = True
+    except Exception as error:
+        compiled_error = error
+    finally:
+        shim.write_log = real_log
+    compiled_writes = _log_image(scratch)
+    compiled_output = shim.output[out_mark:]
+    compiled_steps = shim.steps - step_mark
+    rollback_writes(scratch)
+    del shim.output[out_mark:]
+    shim.steps = step_mark
+
+    if bailed:
+        # Not a divergence: the frame lacks a live-in the compiled entry
+        # binds eagerly.  Plain interpreter fallback.
+        shim.run_chunk(loop, frame, iterations, locks)
+        return "interpreted"
+
+    interp_scratch = {}
+    shim.write_log = interp_scratch
+    try:
+        shim.run_chunk(loop, frame, iterations, locks)
+    except Exception as error:
+        _merge_log(real_log, interp_scratch)
+        shim.write_log = real_log
+        if compiled_error is None:
+            raise EmulationError(
+                f"VERIFY_COMPILED divergence at {entry.label}: compiled "
+                f"chunk succeeded but the interpreter raised "
+                f"{type(error).__name__}: {error}"
+            ) from error
+        raise  # both paths failed: the interpreted error is authoritative
+    shim.write_log = real_log
+    interp_writes = _log_image(interp_scratch)
+    _merge_log(real_log, interp_scratch)
+    interp_output = shim.output[out_mark:]
+    interp_steps = shim.steps - step_mark
+
+    if compiled_error is not None:
+        raise EmulationError(
+            f"VERIFY_COMPILED divergence at {entry.label}: compiled chunk "
+            f"raised {type(compiled_error).__name__}: {compiled_error} "
+            f"but the interpreter succeeded"
+        ) from compiled_error
+    problems = []
+    if compiled_writes != interp_writes:
+        extra = sorted(set(compiled_writes) - set(interp_writes))
+        missing = sorted(set(interp_writes) - set(compiled_writes))
+        changed = sorted(
+            key
+            for key in set(compiled_writes) & set(interp_writes)
+            if compiled_writes[key] != interp_writes[key]
+        )
+        problems.append(
+            f"write logs differ (extra={extra!r} missing={missing!r} "
+            f"changed={changed!r})"
+        )
+    if compiled_output != interp_output:
+        problems.append(
+            f"outputs differ (compiled={compiled_output!r} "
+            f"interpreted={interp_output!r})"
+        )
+    if compiled_steps != interp_steps:
+        problems.append(
+            f"step counts differ (compiled={compiled_steps} "
+            f"interpreted={interp_steps})"
+        )
+    if problems:
+        raise EmulationError(
+            f"VERIFY_COMPILED divergence at {entry.label}: "
+            + "; ".join(problems)
+        )
+    return "compiled"

@@ -22,7 +22,8 @@ class OptContext:
     """Analyses shared by the passes of one ``optimize_plan`` call."""
 
     def __init__(self, function, module, pdg, pspdg, loops, machine,
-                 payload_bytes=None, prelude_warm=None):
+                 payload_bytes=None, prelude_warm=None,
+                 compile_regions=False):
         self.function = function
         self.module = module
         self.pdg = pdg
@@ -39,6 +40,11 @@ class OptContext:
         # (``prelude_hits / payloads``): discounts the serialization
         # cost for regions whose shared state stays cached pool-side.
         self.prelude_warm = dict(prelude_warm) if prelude_warm else {}
+        # Whether the runtime will execute region bodies through the
+        # codegen path: per-step compute is cheaper, so the small-region
+        # pass scales its cost estimates by the machine model's
+        # ``compiled_speedup``.
+        self.compile_regions = bool(compile_regions)
         self.loops_by_header = {
             loop.header.name: loop for loop in self.loops
         }

@@ -105,7 +105,7 @@ class OptimizationResult:
 
 def optimize_plan(
     function, module, pdg, pspdg, plan, level, machine=None, loops=None,
-    payload_bytes=None, prelude_warm=None,
+    payload_bytes=None, prelude_warm=None, compile_regions=False,
 ):
     """Run the ``level`` pipeline over ``plan``; never mutates the input.
 
@@ -121,7 +121,8 @@ def optimize_plan(
     machine = machine if machine is not None else DEFAULT_MACHINE
     ctx = OptContext(function, module, pdg, pspdg, loops, machine,
                      payload_bytes=payload_bytes,
-                     prelude_warm=prelude_warm)
+                     prelude_warm=prelude_warm,
+                     compile_regions=compile_regions)
     report = OptReport(level=level, plan_name=plan.name)
     seeded = seed_regions(ctx, plan)
     optimized = PassManager(passes_for(level)).run(ctx, seeded, report)

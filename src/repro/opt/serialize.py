@@ -24,7 +24,14 @@ class SmallRegionSerializationPass:
         machine = ctx.machine
         regions = []
         for region in plan.regions:
-            cost = region_cost(ctx, region.headers)
+            # Under region compilation a worker retires steps faster, so
+            # the same static cost buys less wall-clock: the effective
+            # cost shrinks and borderline regions serialize.  Dispatch
+            # overhead (the bars) is interpreter-independent.
+            cost = machine.effective_region_cost(
+                region_cost(ctx, region.headers),
+                compiled=ctx.compile_regions,
+            )
             override = None
             if cost is not None:
                 # Measured bytes-on-wire (a previous run's payload_bytes

@@ -51,6 +51,10 @@ class SessionConfig:
             (sync elimination + small-region serialization), ``O2``
             (``O1`` + parallel-region fusion).  Accepts 0/1/2, "O2",
             or "-O2".
+        compile_regions: run region bodies through the
+            :mod:`repro.codegen` exec-compiled path.  ``True``/``False``
+            force it; ``None`` (the default) defers to the
+            ``REPRO_COMPILE`` environment knob.
     """
 
     name: str = "session"
@@ -67,6 +71,7 @@ class SessionConfig:
     schedule: str = "static"
     chunk: int | None = None
     opt_level: OptLevel = OptLevel.O0
+    compile_regions: bool | None = None
 
     def __post_init__(self):
         unknown = set(self.abstractions) - set(ALL_ABSTRACTIONS)

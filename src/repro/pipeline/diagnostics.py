@@ -56,7 +56,9 @@ class Diagnostics:
         prelude columns ``prelude_hits`` (payloads served from resident
         worker state), ``prelude_misses`` (full-state retries), and
         ``prelude_bytes_saved`` (estimated state bytes the hits
-        avoided shipping).
+        avoided shipping).  Under region compilation,
+        ``compiled_chunks``/``interpreted_chunks`` count the chunks that
+        ran through exec-compiled bodies vs the interpreter fallback.
         """
         self.parallel_regions.append(dict(region))
 
@@ -143,9 +145,10 @@ class Diagnostics:
         lines = [
             f"{'loop':16} {'backend':26} {'sched':8} {'W':>2} "
             f"{'iters':>6} {'bytes':>8} {'phit':>4} {'pmiss':>5} "
-            f"{'saved':>8} {'seconds':>9}  per-worker steps"
+            f"{'saved':>8} {'cc':>4} {'ic':>4} {'seconds':>9}  "
+            f"per-worker steps"
         ]
-        lines.append("-" * 117)
+        lines.append("-" * 127)
         for region in self.parallel_regions:
             steps = "/".join(
                 str(worker["steps"]) for worker in region["per_worker"]
@@ -158,6 +161,8 @@ class Diagnostics:
                 f"{region.get('prelude_hits', 0):>4} "
                 f"{region.get('prelude_misses', 0):>5} "
                 f"{region.get('prelude_bytes_saved', 0):>8} "
+                f"{region.get('compiled_chunks', 0):>4} "
+                f"{region.get('interpreted_chunks', 0):>4} "
                 f"{region['seconds']:>9.4f}  "
                 f"{steps}"
             )

@@ -122,6 +122,7 @@ def _build_optimize(session):
             session.config.opt_level,
             machine=session.config.machine,
             loops=session.loops,
+            compile_regions=session.compile_regions_enabled,
         )
     return results
 
@@ -155,6 +156,50 @@ def _recipes_stats(recipes):
             for region in regions
             if region.fused
         ),
+    }
+
+
+def _build_compile_regions(session):
+    """Precompile every planned region loop through :mod:`repro.codegen`.
+
+    Warms the codegen cache parent-side (both store variants: the
+    threads backend's shims may or may not feed a write log) so region
+    dispatch never pays compile latency, and reports which loops lowered
+    and which fell back.  The compiled functions themselves live in the
+    codegen cache keyed by the session's module object — they close
+    over IR identities, so the *artifact* carries only the summary.
+    """
+    from repro.codegen import cache as codegen_cache
+
+    loops_by_header = {
+        loop.header.name: loop for loop in session.loops
+    }
+    summary = {"compiled": [], "fallback": [], "module_key": None}
+    seen = set()
+    for regions in session.region_recipes.values():
+        for region in regions:
+            for header in region.headers:
+                loop = loops_by_header.get(header)
+                if loop is None or loop.canonical is None or header in seen:
+                    continue
+                seen.add(header)
+                entries = [
+                    codegen_cache.compiled_chunk(
+                        session.module, loop, logged=logged
+                    )
+                    for logged in (True, False)
+                ]
+                bucket = "compiled" if all(entries) else "fallback"
+                summary[bucket].append(header)
+    summary["codegen"] = codegen_cache.stats()
+    return summary
+
+
+def _compile_regions_stats(summary):
+    return {
+        "compiled_loops": len(summary["compiled"]),
+        "fallback_loops": len(summary["fallback"]),
+        "codegen_seconds": round(summary["codegen"]["seconds"], 6),
     }
 
 
@@ -209,6 +254,16 @@ STAGES = {
             ("optimize",),
             _build_recipes,
             _recipes_stats,
+        ),
+        # Region-body compilation: exec-compiled chunk functions for the
+        # planned loops, warmed ahead of the first dispatch.  Keyed (via
+        # _STAGE_PARAMS) by the ``compile_regions`` knob on top of the
+        # recipes closure.
+        Stage(
+            "compile_regions",
+            ("recipes", "loops"),
+            _build_compile_regions,
+            _compile_regions_stats,
         ),
     )
 }

@@ -43,6 +43,18 @@ class MachineModel:
     threads_region_cost: int = 2048
     payload_cost_per_byte: float = 0.01
     prelude_cache_discount: float = 0.75
+    #: How much faster a worker retires one region step through an
+    #: exec-compiled chunk body than through the interpreter's dispatch
+    #: loop.  Applied by the small-region serialization pass when region
+    #: compilation is on: compute gets cheaper, dispatch overhead does
+    #: not, so borderline regions tip toward serialization.
+    compiled_speedup: float = 3.0
+
+    def effective_region_cost(self, cost, compiled=False):
+        """A region's estimated per-entry cost under the execution mode."""
+        if not compiled or cost is None:
+            return cost
+        return int(cost / max(self.compiled_speedup, 1.0))
 
     @property
     def chunk_choices(self):

@@ -49,8 +49,11 @@ import threading
 import time
 
 import repro.runtime.payload as payload_codec
+from repro.codegen import cache as codegen_cache
+from repro.codegen import runtime as codegen_runtime
 from repro.emulator.interp import Interpreter, record_write
 from repro.ir.instructions import Terminator
+from repro.runtime import knobs
 from repro.util.errors import EmulationError, PlanError
 
 #: Seconds a worker may wait on one critical-section lock before the
@@ -95,6 +98,8 @@ class ParallelRegion:
     prelude_bytes_saved: int = 0  # estimated state bytes the hits avoided
     retry_payload_bytes: int = 0  # bytes of miss-retry round-trips (timing-
     # dependent: how often pool scheduling let a worker fall behind)
+    compiled_chunks: int = 0  # chunks run through exec-compiled bodies
+    interpreted_chunks: int = 0  # chunks run through the dispatch loop
 
 
 class ExecutionBackend:
@@ -252,20 +257,51 @@ class ThreadsBackend(ExecutionBackend):
         if not active:
             return
 
+        compile_on = bool(getattr(interp, "compile_regions", False))
+        verify = compile_on and bool(knobs.VERIFY_COMPILED)
+        logged = verify or interp.write_log is not None
+        entries = {}
+        if compile_on:
+            # Compile once on the dispatching thread; jobs only look up.
+            # Loops holding critical/atomic blocks stay interpreted — the
+            # compiled body performs no lock transitions.
+            for loop in region.loops:
+                if any(
+                    block.name in interp._critical_regions
+                    for block in loop.blocks
+                ):
+                    entries[loop] = None
+                else:
+                    entries[loop] = codegen_cache.compiled_chunk(
+                        interp.module, loop, logged=logged
+                    )
+
         def job(worker):
             start = time.perf_counter()
             shim = _WorkerInterpreter(
                 interp.module, interp._global_storage, interp.max_steps,
                 write_log=interp.write_log,
             )
+            if logged and shim.write_log is None:
+                # The verify oracle diffs write logs, so force one even
+                # when the parent did not ask for dirty tracking.
+                shim.enable_write_log()
+            compiled = interpreted = 0
             # Member segments run back-to-back with no barrier: fusion
             # legality keeps every cross-member dependence within one
             # worker's own chunks.
             for loop, iterations in worker.segments:
                 if iterations:
-                    shim.run_chunk(loop, worker.frame, iterations, locks)
+                    mode = codegen_runtime.execute_chunk(
+                        entries.get(loop), shim, loop, worker.frame,
+                        iterations, locks, verify=verify,
+                    )
+                    if mode == "compiled":
+                        compiled += 1
+                    else:
+                        interpreted += 1
             worker.seconds = time.perf_counter() - start
-            return shim
+            return shim, compiled, interpreted
 
         with concurrent.futures.ThreadPoolExecutor(
             max_workers=len(active), thread_name_prefix="repro-worker"
@@ -274,10 +310,12 @@ class ThreadsBackend(ExecutionBackend):
                        for worker in active]
             # Worker-order collection keeps output/step totals deterministic.
             for worker, future in futures:
-                shim = future.result()
+                shim, compiled, interpreted = future.result()
                 worker.steps = shim.steps
                 interp.steps += shim.steps
                 interp.output.extend(shim.output)
+                region.compiled_chunks += compiled
+                region.interpreted_chunks += interpreted
 
 
 def _fork_preferred_context():
@@ -423,11 +461,30 @@ def _pool_chunk_entry(wire):
         snapshot = None
         if payload.get("verify_diffs"):
             snapshot = payload_codec.snapshot_shared(index)
+        compile_on = payload.get("compile_regions")
+        verify = compile_on and payload.get("verify_compiled")
+        compiled_chunks = interpreted_chunks = 0
         try:
             start = time.perf_counter()
             for loop, iterations in segments:
                 if iterations:
-                    shim.run_chunk(loop, frame, iterations, _NullLocks())
+                    entry = None
+                    if compile_on:
+                        # Shims always log, so the logged variant; keyed
+                        # by the child's decoded module object (cache.py
+                        # explains why the content hash is not enough).
+                        entry = codegen_cache.compiled_chunk(
+                            payload["module"], loop, logged=True,
+                            module_key=payload.get("module_key"),
+                        )
+                    mode = codegen_runtime.execute_chunk(
+                        entry, shim, loop, frame, iterations,
+                        _NullLocks(), verify=verify,
+                    )
+                    if mode == "compiled":
+                        compiled_chunks += 1
+                    else:
+                        interpreted_chunks += 1
             seconds = time.perf_counter() - start
 
             diffs = payload_codec.diff_write_log(log, index)
@@ -445,6 +502,8 @@ def _pool_chunk_entry(wire):
                 "output": shim.output,
                 "seconds": seconds,
                 "dirty_slots": len(log),
+                "compiled_chunks": compiled_chunks,
+                "interpreted_chunks": interpreted_chunks,
                 "global_diffs": global_diffs,
                 "alloca_diffs": alloca_diffs,
                 "arg_diffs": arg_diffs,
@@ -511,6 +570,7 @@ class ProcessesBackend(ExecutionBackend):
             workers=active,
             epoch=_POOL_EPOCH,
             prelude=prelude,
+            compile_regions=bool(getattr(interp, "compile_regions", False)),
         )
         submitted = []
         for worker, worker_payload in zip(active, encoded.workers):
@@ -624,6 +684,8 @@ class ProcessesBackend(ExecutionBackend):
         interp.steps += result["steps"]
         interp.output.extend(result["output"])
         region.dirty_slots += result.get("dirty_slots", 0)
+        region.compiled_chunks += result.get("compiled_chunks", 0)
+        region.interpreted_chunks += result.get("interpreted_chunks", 0)
         # Shared-memory effects, applied in worker order (deterministic;
         # a correct DOALL's shared writes are disjoint across workers).
         # Each write is marked in the parent's inter-region log first:

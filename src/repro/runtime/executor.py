@@ -46,6 +46,7 @@ from repro.emulator.interp import Interpreter, _Frame, record_write
 from repro.ir.instructions import Terminator
 from repro.ir.types import FLOAT
 from repro.ir.values import Argument, GlobalVariable
+from repro.runtime import knobs
 from repro.runtime.backends import ParallelRegion, get_backend
 from repro.runtime.schedulers import make_scheduler
 from repro.util.errors import EmulationError, PlanError
@@ -497,7 +498,7 @@ class ParallelInterpreter(Interpreter):
     def __init__(self, module, parallelizations, workers=4, seed=0,
                  max_steps=50_000_000, backend="simulated",
                  schedule="static", chunk=None, pool_size=None,
-                 prelude=None):
+                 prelude=None, compile_regions=None):
         super().__init__(module, max_steps)
         if (
             not isinstance(workers, int)
@@ -513,6 +514,12 @@ class ParallelInterpreter(Interpreter):
         self.schedule = schedule
         self.chunk = chunk
         self.pool_size = pool_size  # processes-pool sizing (machine cores)
+        # None defers to the REPRO_COMPILE env knob so existing callers
+        # opt in without signature changes.
+        self.compile_regions = (
+            bool(knobs.REPRO_COMPILE) if compile_regions is None
+            else bool(compile_regions)
+        )
         if self.backend.name == "processes":
             # Track every shared-state write between region dispatches:
             # the payload codec ships dirty-slot deltas against the pool
@@ -652,6 +659,8 @@ class ParallelInterpreter(Interpreter):
             "prelude_misses": region.prelude_misses,
             "prelude_bytes_saved": region.prelude_bytes_saved,
             "retry_payload_bytes": region.retry_payload_bytes,
+            "compiled_chunks": region.compiled_chunks,
+            "interpreted_chunks": region.interpreted_chunks,
             "seconds": elapsed,
             "per_worker": [
                 {
@@ -1027,6 +1036,7 @@ def run_parallel(
     chunk=None,
     pool_size=None,
     prelude=None,
+    compile_regions=None,
 ):
     """Execute ``function_name`` with the given loop parallelizations.
 
@@ -1046,6 +1056,7 @@ def run_parallel(
         chunk=chunk,
         pool_size=pool_size,
         prelude=prelude,
+        compile_regions=compile_regions,
     )
     return interpreter.run(function_name)
 
@@ -1132,7 +1143,8 @@ def recipes_from_plan(module, pspdg, plan, function):
 
 def run_plan(module, pspdg, plan, function_name="main", workers=4, seed=0,
              backend="simulated", schedule="static", chunk=None,
-             opt_level=None, machine=None, pool_size=None, prelude=None):
+             opt_level=None, machine=None, pool_size=None, prelude=None,
+             compile_regions=None):
     """Execute a :class:`ProgramPlan` chosen from the PS-PDG.
 
     This is the runtime entry point :meth:`repro.Session.run` uses: the
@@ -1156,12 +1168,13 @@ def run_plan(module, pspdg, plan, function_name="main", workers=4, seed=0,
             ).plan
     regions = recipes_from_plan(module, pspdg, plan, function)
     return run_parallel(module, regions, function_name, workers, seed,
-                        backend, schedule, chunk, pool_size, prelude)
+                        backend, schedule, chunk, pool_size, prelude,
+                        compile_regions)
 
 
 def run_source_plan(module, function_name="main", workers=4, seed=0,
                     backend="simulated", schedule="static", chunk=None,
-                    pool_size=None, prelude=None):
+                    pool_size=None, prelude=None, compile_regions=None):
     """Execute the developer's OpenMP plan (all worksharing annotations)."""
     function = module.function(function_name)
     recipes = []
@@ -1174,4 +1187,5 @@ def run_source_plan(module, function_name="main", workers=4, seed=0,
                 parallelization_from_annotation(annotation, function)
             )
     return run_parallel(module, recipes, function_name, workers, seed,
-                        backend, schedule, chunk, pool_size, prelude)
+                        backend, schedule, chunk, pool_size, prelude,
+                        compile_regions)

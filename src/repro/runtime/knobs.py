@@ -1,0 +1,100 @@
+"""Environment knobs for the runtime, read in one place.
+
+The runtime's debug/verification modes are boolean environment
+variables.  They used to be scattered module-level ``os.environ`` reads
+inside ``runtime/payload.py``, which made two things awkward: a test
+that monkeypatched the environment saw no effect (the module had read
+it at import), and every new knob re-implemented the same falsy-string
+parsing.  Each knob now lives here as a :class:`Knob` instance that
+
+* parses the same falsy set everywhere (``"" 0 false no off``),
+* is truthy/falsy directly (``if knobs.VERIFY_DIFFS:``), and
+* can be re-read from the environment with :func:`refresh` — the test
+  suite calls that around every test so env-based tests compose.
+
+Tests may also assign ``knob.value = True`` (or monkeypatch the module
+attributes that re-export these in ``payload.py``) for a process-local
+override; ``refresh()`` restores the environment's verdict.
+"""
+
+import os
+
+_FALSY = ("", "0", "false", "no", "off")
+
+
+class Knob:
+    """One boolean environment knob with a cached, refreshable value."""
+
+    __slots__ = ("name", "default", "value")
+
+    def __init__(self, name, default=False):
+        self.name = name
+        self.default = default
+        self.value = self._read()
+
+    def _read(self):
+        raw = os.environ.get(self.name)
+        if raw is None:
+            return self.default
+        return raw.strip().lower() not in _FALSY
+
+    def refresh(self):
+        """Re-read the environment; returns the new value."""
+        self.value = self._read()
+        return self.value
+
+    def __bool__(self):
+        return bool(self.value)
+
+    def __repr__(self):
+        return f"Knob({self.name}={bool(self.value)})"
+
+
+_KNOBS = {}
+
+
+def flag(name, default=False):
+    """Register (or fetch) the knob for environment variable ``name``."""
+    knob = _KNOBS.get(name)
+    if knob is None:
+        knob = _KNOBS[name] = Knob(name, default)
+    return knob
+
+
+def refresh():
+    """Re-read every registered knob from the environment."""
+    for knob in _KNOBS.values():
+        knob.refresh()
+
+
+def as_dict():
+    """Current knob values by name (diagnostics / tests)."""
+    return {name: bool(knob) for name, knob in sorted(_KNOBS.items())}
+
+
+#: Cross-check the write-log diff against the legacy snapshot diff in
+#: every pool chunk; fail loudly on divergence.  Travels in the payload.
+VERIFY_DIFFS = flag("VERIFY_DIFFS")
+
+#: Measure what the legacy self-contained codec would have shipped
+#: (fills ``RegionPayloads.naive_bytes``).  Benchmark-only.
+MEASURE_NAIVE = flag("MEASURE_NAIVE")
+
+#: Ship the full state alongside every dirty delta and compare the
+#: delta-applied resident image against a fresh decode in the worker.
+VERIFY_PRELUDE = flag("VERIFY_PRELUDE")
+
+#: The resident-prelude protocol itself (off = v1-style full state on
+#: every region).
+RESIDENT_PRELUDE = flag("RESIDENT_PRELUDE", default=True)
+
+#: Run every compiled chunk twice — compiled then interpreted — and
+#: fail loudly unless their write-log diffs, outputs, and step counts
+#: are identical.  The interpreted run's effects are kept.  Travels in
+#: the payload.
+VERIFY_COMPILED = flag("VERIFY_COMPILED")
+
+#: Default for ``SessionConfig.compile_regions`` / the runtime's
+#: ``compile_regions=None``: lower DOALL chunk bodies to exec-compiled
+#: Python instead of the interpreter loop.
+REPRO_COMPILE = flag("REPRO_COMPILE")

@@ -68,12 +68,12 @@ import hashlib
 import io
 import itertools
 import math
-import os
 import pickle
 from collections import OrderedDict
 
 from repro.analysis.loops import find_natural_loops
 from repro.emulator.interp import _Frame
+from repro.runtime import knobs
 
 #: Protocol for every codec stream.  Fixed (not HIGHEST_PROTOCOL) so the
 #: parent and a pool worker running a different interpreter version of
@@ -122,33 +122,16 @@ _WINDOW_DECAY_REGIONS = 16
 _WINDOW_DIRTY_CAP = 8192
 
 
-def _env_flag(name, default="0"):
-    return os.environ.get(name, default).strip().lower() not in (
-        "", "0", "false", "no", "off",
-    )
-
-
-#: When true, every encoded region asks the pool worker to compute the
-#: legacy snapshot diff alongside the write-log diff and fail loudly on
-#: any divergence.  Travels inside the payload.
-VERIFY_DIFFS = _env_flag("VERIFY_DIFFS")
-
-#: When true, :func:`encode_region` also measures what the legacy codec
-#: (one self-contained ``pickle.dumps`` per worker) would have shipped,
-#: filling ``RegionPayloads.naive_bytes``.  Benchmark-only: it performs
-#: the very re-pickling the codec exists to avoid.
-MEASURE_NAIVE = _env_flag("MEASURE_NAIVE")
-
-#: When true, the full state rides along with every dirty-delta payload
-#: and the pool worker compares its delta-applied resident state against
-#: a fresh decode, erroring on any divergence — the resident-path
-#: analogue of ``VERIFY_DIFFS`` (catches un-logged parent mutations).
-VERIFY_PRELUDE = _env_flag("VERIFY_PRELUDE")
-
-#: The resident-prelude protocol itself.  Off (``RESIDENT_PRELUDE=0``),
-#: every region ships the full state (v1-equivalent wire cost); the
-#: benchmarks use this to measure what the resident path saves.
-RESIDENT_PRELUDE = _env_flag("RESIDENT_PRELUDE", default="1")
+# The debug/verification knobs live in ``runtime/knobs.py`` (one
+# parser, refreshable between tests); these module attributes re-export
+# the knob objects so existing call sites and test monkeypatching of
+# ``payload.VERIFY_DIFFS`` et al. keep working — a knob is truthy
+# exactly when its environment variable is set truthy.
+VERIFY_DIFFS = knobs.VERIFY_DIFFS
+MEASURE_NAIVE = knobs.MEASURE_NAIVE
+VERIFY_PRELUDE = knobs.VERIFY_PRELUDE
+RESIDENT_PRELUDE = knobs.RESIDENT_PRELUDE
+VERIFY_COMPILED = knobs.VERIFY_COMPILED
 
 
 # -- deterministic module traversal -------------------------------------------
@@ -800,7 +783,7 @@ def _unpack_iterations(packed):
 
 
 def encode_region(module, frame, loops, global_storage, max_steps,
-                  workers, epoch, prelude=None):
+                  workers, epoch, prelude=None, compile_regions=False):
     """Encode one region's pool payloads.
 
     ``workers`` are the active ``_Worker`` instances; ``frame`` is the
@@ -808,7 +791,10 @@ def encode_region(module, frame, loops, global_storage, max_steps,
     ``epoch`` identifies the current pool generation (module bytes are
     broadcast, and resident streams reset, once per epoch); ``prelude``
     is the dispatching interpreter's :class:`PreludeCodec` (omitted by
-    standalone callers, who then ship full state every region).
+    standalone callers, who then ship full state every region);
+    ``compile_regions`` asks the pool worker to run each chunk through
+    its exec-compiled body (``repro.codegen``) where one lowers — the
+    flag travels in the header, so children need no environment.
     """
     codec = module_codec(module)
     if prelude is None:
@@ -878,14 +864,16 @@ def encode_region(module, frame, loops, global_storage, max_steps,
         buffer, codec.persist_map, header_persist, loop_map
     )
     # Positional header (see the matching unpack in decode_payload):
-    # (loops, max_steps, verify_diffs, append_base, append pool, dirty
-    # singles, dirty runs).  ``append`` is the table suffix from
-    # ``append_base`` on — the window's new storages by value, this
-    # region's ``fresh`` last.
+    # (loops, max_steps, verify_diffs, compile_regions, verify_compiled,
+    # append_base, append pool, dirty singles, dirty runs).  ``append``
+    # is the table suffix from ``append_base`` on — the window's new
+    # storages by value, this region's ``fresh`` last.
     header_pickler.dump((
         loops,
         max_steps,
-        VERIFY_DIFFS,
+        bool(VERIFY_DIFFS),
+        bool(compile_regions),
+        bool(VERIFY_COMPILED),
         append_base,
         prelude.table[append_base:] + fresh,
         singles,
@@ -1114,8 +1102,8 @@ def decode_payload(wire):
         resident.table,
         _loop_resolver(module, loop_cache),
     )
-    (loops, max_steps, verify_diffs, append_base, append,
-     dirty, dirty_runs) = unpickler.load()
+    (loops, max_steps, verify_diffs, compile_regions, verify_compiled,
+     append_base, append, dirty, dirty_runs) = unpickler.load()
     if advance:
         table = resident.table
         # Catch up from wherever in the window this worker is: first
@@ -1139,6 +1127,7 @@ def decode_payload(wire):
     frame.global_overlay = overlay
     return {
         "module": module,
+        "module_key": module_key,
         "global_storage": resident.global_storage,
         "frame": frame,
         "segments": [
@@ -1150,6 +1139,8 @@ def decode_payload(wire):
         "loops": loops,
         "max_steps": max_steps,
         "verify_diffs": verify_diffs,
+        "compile_regions": compile_regions,
+        "verify_compiled": verify_compiled,
     }, None
 
 

@@ -56,8 +56,12 @@ _STAGE_PARAMS = {
         "name",
         "plan_hierarchical",
         "plan_all_loops",
+        # The small-region pass scales cost estimates by the machine's
+        # compiled speedup when region compilation is on.
+        "compile_regions",
     ),
     "recipes": (),
+    "compile_regions": ("compile_regions",),
     # Query stages: the effective machine/min_coverage of ``options``
     # travel as explicit key extras, not config fields.
     "options": ("name",),
@@ -250,6 +254,26 @@ class Session:
         """Abstraction name -> runtime region recipes (stage: recipes)."""
         return self._stage("recipes")
 
+    @property
+    def compile_regions_enabled(self):
+        """The config's ``compile_regions`` knob, env-resolved.
+
+        ``None`` defers to the ``REPRO_COMPILE`` environment flag, so an
+        unconfigured session follows the same switch the bare runtime
+        entry points do.
+        """
+        from repro.runtime import knobs
+
+        configured = self.config.compile_regions
+        return bool(knobs.REPRO_COMPILE) if configured is None \
+            else bool(configured)
+
+    @property
+    def compiled_regions(self):
+        """Codegen warm-up summary for the planned loops (stage:
+        compile_regions)."""
+        return self._stage("compile_regions")
+
     def optimization(self, abstraction="PS-PDG"):
         """The pass pipeline's result (plan + report) for one abstraction."""
         results = self.optimizations
@@ -355,7 +379,7 @@ class Session:
     # -- execution -------------------------------------------------------------
 
     def run(self, plan=None, workers=None, seed=None, backend=None,
-            schedule=None, chunk=None, opt=None):
+            schedule=None, chunk=None, opt=None, compile_regions=None):
         """Execute the program under ``plan`` on a parallel backend.
 
         ``plan`` may be a :class:`ProgramPlan`, an abstraction name
@@ -387,10 +411,23 @@ class Session:
                  else self.config.opt_level)
         pool_size = self.config.machine.cores
         prelude = self._prelude_codec()
+        compile_on = (
+            self.compile_regions_enabled if compile_regions is None
+            else bool(compile_regions)
+        )
+        if compile_on and isinstance(plan, str) and plan not in (
+            "source", "OpenMP"
+        ):
+            # Warm the codegen cache (and record its stage stats) before
+            # the first region dispatch.  Source-plan runs skip the
+            # warm-up — it would drag the whole planning pipeline in —
+            # and compile lazily at dispatch instead.
+            self._stage("compile_regions")
         if plan is None or plan in ("source", "OpenMP"):
             result = run_source_plan(
                 self.module, self.config.function_name, workers, seed,
                 backend, schedule, chunk, pool_size, prelude,
+                compile_on,
             )
         elif isinstance(plan, str):
             if level == self.config.opt_level:
@@ -400,6 +437,7 @@ class Session:
             result = run_parallel(
                 self.module, regions, self.config.function_name, workers,
                 seed, backend, schedule, chunk, pool_size, prelude,
+                compile_on,
             )
         else:
             # Explicit ProgramPlan: optimize here, against the session's
@@ -419,6 +457,7 @@ class Session:
                 chunk,
                 pool_size=pool_size,
                 prelude=prelude,
+                compile_regions=compile_on,
             )
         for region in result.parallel_regions:
             self.diagnostics.record_parallel(region)

@@ -1,0 +1,379 @@
+"""Unit tests for the region-body compiler (repro.codegen).
+
+Lowering fidelity is mostly covered by the differential conformance
+suite (tests/integration/test_compiled_conformance.py); these tests pin
+the package's own contracts — cache behavior, fallback-never-fail, the
+Bailout protocol, and the VERIFY_COMPILED oracle's divergence checks.
+"""
+
+import gc
+
+import pytest
+
+from repro.analysis.loops import find_natural_loops
+from repro.codegen import cache as codegen_cache
+from repro.codegen import lower, runtime as codegen_runtime
+from repro.codegen.lower import CompiledChunk, Unsupported, compile_chunk
+from repro.codegen.runtime import Bailout, execute_chunk
+from repro.frontend import compile_source
+from repro.util.errors import EmulationError
+
+SIMPLE = """
+global a: int[32];
+
+func main() {
+  pragma omp parallel_for
+  for i in 0..32 {
+    a[i] = i * 2 + 1;
+  }
+  print(a[31]);
+}
+"""
+
+MATHY = """
+global x: float[16];
+global s: float;
+
+func main() {
+  pragma omp parallel_for reduction(+: s)
+  for i in 0..16 {
+    x[i] = sqrt(float(i)) + sin(float(i)) * 0.5;
+    s = s + x[i];
+  }
+  print(s);
+}
+"""
+
+NESTED = """
+global m: int[8];
+
+func main() {
+  pragma omp parallel_for
+  for i in 0..8 {
+    var acc: int = 0;
+    for j in 0..4 {
+      acc = acc + i * j;
+    }
+    m[i] = acc;
+  }
+  print(m[7]);
+}
+"""
+
+
+def _loop(source, index=0):
+    module = compile_source(source)
+    function = module.function("main")
+    loops = [
+        lp for lp in find_natural_loops(function) if lp.canonical
+    ]
+    return module, loops[index]
+
+
+# -- lowering --------------------------------------------------------------------
+
+
+def test_compile_chunk_produces_both_variants():
+    _module, loop = _loop(SIMPLE)
+    logged = compile_chunk(loop, logged=True)
+    plain = compile_chunk(loop, logged=False)
+    assert logged.logged and not plain.logged
+    assert "_log = interp.write_log" in logged.source
+    assert "_log = interp.write_log" not in plain.source
+    assert logged.label == f"main:{loop.header.name}"
+
+
+def test_lowered_source_pins_interpreter_semantics():
+    _module, loop = _loop(SIMPLE)
+    source = compile_chunk(loop, logged=True).source
+    # Step parity with run_chunk (one step per IR instruction) and the
+    # exact interpreter error strings.
+    assert "parallel worker exceeded max_steps" in source
+    assert "out of bounds for" in source
+    assert "_iv[0] = _i" in source
+
+
+def test_nested_sequential_loop_lowers_to_state_machine():
+    _module, loop = _loop(NESTED)  # outer parallel loop, inner `for j`
+    entry = compile_chunk(loop, logged=True)
+    assert "while True:" in entry.source
+    assert "_b = " in entry.source
+
+
+def test_float_helpers_route_through_guarded_math():
+    _module, loop = _loop(MATHY)
+    source = compile_chunk(loop, logged=True).source
+    assert "_u_sqrt(" in source
+    assert "_u_sin(" in source
+
+
+def test_non_canonical_loop_is_unsupported():
+    _module, loop = _loop(SIMPLE)
+    loop.canonical = None
+    with pytest.raises(Unsupported):
+        compile_chunk(loop, logged=True)
+
+
+def test_nonfinite_constant_refused():
+    with pytest.raises(Unsupported):
+        lower._literal(float("inf"))
+    with pytest.raises(Unsupported):
+        lower._literal(float("nan"))
+    assert lower._literal(1.5) == "1.5"
+    assert lower._literal(True) == "True"
+
+
+# -- the cache -------------------------------------------------------------------
+
+
+def test_cache_hits_and_stats():
+    module, loop = _loop(SIMPLE)
+    first = codegen_cache.compiled_chunk(module, loop, logged=True)
+    again = codegen_cache.compiled_chunk(module, loop, logged=True)
+    assert first is again
+    stats = codegen_cache.stats()
+    assert stats["compiles"] == 1
+    assert stats["hits"] == 1
+    assert stats["seconds"] > 0
+
+
+def test_cache_key_separates_store_variants():
+    module, loop = _loop(SIMPLE)
+    logged = codegen_cache.compiled_chunk(module, loop, logged=True)
+    plain = codegen_cache.compiled_chunk(module, loop, logged=False)
+    assert logged is not plain
+    assert codegen_cache.stats()["compiles"] == 2
+
+
+def test_cache_failure_memoizes_fallback(monkeypatch):
+    module, loop = _loop(SIMPLE)
+
+    def refuse(loop, logged, module_key=None):
+        raise Unsupported("test refusal")
+
+    monkeypatch.setattr(codegen_cache, "compile_chunk", refuse)
+    assert codegen_cache.compiled_chunk(module, loop, True) is None
+    assert codegen_cache.compiled_chunk(module, loop, True) is None
+    stats = codegen_cache.stats()
+    assert stats["fallbacks"] == 1  # second call was a (None) cache hit
+    assert stats["hits"] == 1
+
+
+def test_cache_never_raises_on_codegen_bug(monkeypatch):
+    module, loop = _loop(SIMPLE)
+
+    def explode(loop, logged, module_key=None):
+        raise RuntimeError("codegen bug")
+
+    monkeypatch.setattr(codegen_cache, "compile_chunk", explode)
+    assert codegen_cache.compiled_chunk(module, loop, True) is None
+    assert codegen_cache.stats()["fallbacks"] == 1
+
+
+def test_cache_entries_die_with_their_module():
+    module, loop = _loop(SIMPLE)
+    codegen_cache.compiled_chunk(module, loop, logged=True)
+    assert len(codegen_cache._FN_CACHE) == 1
+    del module, loop
+    gc.collect()
+    # Weak keying: a re-decoded module (new object, same content hash)
+    # can never be served another module's entries.
+    assert len(codegen_cache._FN_CACHE) == 0
+
+
+def test_reset_clears_entries_and_counters():
+    module, loop = _loop(SIMPLE)
+    codegen_cache.compiled_chunk(module, loop, logged=True)
+    codegen_cache.reset()
+    assert codegen_cache.stats() == {
+        "compiles": 0, "hits": 0, "fallbacks": 0, "seconds": 0.0,
+    }
+    assert len(codegen_cache._FN_CACHE) == 0
+
+
+# -- chunk execution -------------------------------------------------------------
+
+
+class _Shim:
+    """Minimal stand-in for _WorkerInterpreter in execute_chunk tests."""
+
+    def __init__(self):
+        self.ran_interpreted = 0
+        self.write_log = {}
+        self.output = []
+        self.steps = 0
+        self.max_steps = 10**9
+
+    def run_chunk(self, loop, frame, iterations, locks):
+        self.ran_interpreted += 1
+
+
+def _entry(fn):
+    return CompiledChunk(
+        fn=fn, source="", function="main", header="h", logged=True
+    )
+
+
+def test_execute_chunk_without_entry_interprets():
+    shim = _Shim()
+    mode = execute_chunk(None, shim, "loop", "frame", [1], None)
+    assert mode == "interpreted"
+    assert shim.ran_interpreted == 1
+
+
+def test_execute_chunk_runs_compiled_body():
+    shim = _Shim()
+    hits = []
+    entry = _entry(lambda interp, frame, iters: hits.append(iters))
+    mode = execute_chunk(entry, shim, "loop", "frame", [1, 2], None)
+    assert mode == "compiled"
+    assert hits == [[1, 2]]
+    assert shim.ran_interpreted == 0
+
+
+def test_execute_chunk_bailout_falls_back():
+    shim = _Shim()
+
+    def bail(interp, frame, iters):
+        raise Bailout()
+
+    mode = execute_chunk(_entry(bail), shim, "loop", "frame", [1], None)
+    assert mode == "interpreted"
+    assert shim.ran_interpreted == 1
+
+
+# -- the VERIFY_COMPILED oracle --------------------------------------------------
+
+
+class _VerifyShim(_Shim):
+    """Shim whose interpreted run writes `expected` into `storage`."""
+
+    def __init__(self, storage, expected):
+        super().__init__()
+        self.storage = storage
+        self.expected = expected
+
+    def run_chunk(self, loop, frame, iterations, locks):
+        self.ran_interpreted += 1
+        log = self.write_log
+        key = (id(self.storage), 0)
+        if key not in log:
+            log[key] = (self.storage, self.storage[0])
+        self.storage[0] = self.expected
+        self.steps += 1
+
+
+def _compiled_writer(storage, value):
+    def fn(interp, frame, iterations):
+        log = interp.write_log
+        key = (id(storage), 0)
+        if key not in log:
+            log[key] = (storage, storage[0])
+        storage[0] = value
+        interp.steps += 1
+
+    return _entry(fn)
+
+
+def test_verify_agreement_keeps_interpreted_effects():
+    storage = [0]
+    shim = _VerifyShim(storage, expected=7)
+    entry = _compiled_writer(storage, 7)
+    mode = execute_chunk(entry, shim, "loop", "frame", [1], None,
+                         verify=True)
+    assert mode == "compiled"
+    assert shim.ran_interpreted == 1  # oracle re-ran interpreted
+    assert storage[0] == 7
+    # The real log carries the write (record_write semantics).
+    assert shim.write_log == {(id(storage), 0): (storage, 0)}
+
+
+def test_verify_detects_wrong_value():
+    storage = [0]
+    shim = _VerifyShim(storage, expected=7)
+    entry = _compiled_writer(storage, 8)  # compiled writes the wrong value
+    with pytest.raises(EmulationError, match="divergence"):
+        execute_chunk(entry, shim, "loop", "frame", [1], None,
+                      verify=True)
+    # Interpreted state is authoritative and stays applied.
+    assert storage[0] == 7
+
+
+def test_verify_detects_missing_write():
+    storage = [0]
+    shim = _VerifyShim(storage, expected=7)
+    entry = _entry(lambda interp, frame, iters: None)  # writes nothing
+    with pytest.raises(EmulationError, match="write logs differ"):
+        execute_chunk(entry, shim, "loop", "frame", [1], None,
+                      verify=True)
+
+
+def test_verify_detects_step_divergence():
+    storage = [0]
+    shim = _VerifyShim(storage, expected=7)
+
+    def fn(interp, frame, iterations):
+        log = interp.write_log
+        key = (id(storage), 0)
+        if key not in log:
+            log[key] = (storage, storage[0])
+        storage[0] = 7
+        interp.steps += 3  # interpreted counts 1
+
+    with pytest.raises(EmulationError, match="step counts differ"):
+        execute_chunk(_entry(fn), shim, "loop", "frame", [1], None,
+                      verify=True)
+
+
+def test_verify_compiled_error_with_interpreted_success_diverges():
+    storage = [0]
+    shim = _VerifyShim(storage, expected=7)
+
+    def fn(interp, frame, iterations):
+        raise EmulationError("boom")
+
+    with pytest.raises(EmulationError, match="interpreter succeeded"):
+        execute_chunk(_entry(fn), shim, "loop", "frame", [1], None,
+                      verify=True)
+    assert storage[0] == 7  # interpreted effects kept
+
+
+def test_verify_bailout_is_not_a_divergence():
+    storage = [0]
+    shim = _VerifyShim(storage, expected=7)
+
+    def fn(interp, frame, iterations):
+        raise Bailout()
+
+    mode = execute_chunk(_entry(fn), shim, "loop", "frame", [1], None,
+                         verify=True)
+    assert mode == "interpreted"
+    assert storage[0] == 7
+
+
+def test_verify_both_raise_reraises_interpreted_error():
+    storage = [0]
+
+    class _Raises(_VerifyShim):
+        def run_chunk(self, loop, frame, iterations, locks):
+            raise EmulationError("interpreted boom")
+
+    shim = _Raises(storage, expected=7)
+
+    def fn(interp, frame, iterations):
+        raise EmulationError("compiled boom")
+
+    with pytest.raises(EmulationError, match="interpreted boom"):
+        execute_chunk(_entry(fn), shim, "loop", "frame", [1], None,
+                      verify=True)
+
+
+# -- runtime helpers -------------------------------------------------------------
+
+
+def test_guarded_math_maps_value_errors():
+    with pytest.raises(EmulationError, match="math error in sqrt"):
+        codegen_runtime.u_sqrt(-1.0)
+    assert codegen_runtime.u_floor(2.7) == 2.0
+    assert codegen_runtime.u_not(True) is False
+    assert codegen_runtime.u_not(0) == -1

@@ -26,9 +26,13 @@ def _fresh_codec_caches():
     test would dominate suite runtime; tests that need a cold pool use
     their own fixture.
     """
-    from repro.runtime import payload
+    from repro.runtime import knobs, payload
 
+    knobs.refresh()
     payload.reset_codec_caches()
+    from repro.codegen import cache as codegen_cache
+
+    codegen_cache.reset()
     yield
 
 

@@ -1,0 +1,193 @@
+"""Differential conformance of the region-body compiler.
+
+~50 seeded random programs (tests/support/progen) run compiled vs
+interpreted; outputs must match exactly, and with ``VERIFY_COMPILED``
+the in-worker oracle additionally diffs every chunk's write log, output
+slice, and step count byte-for-byte between the compiled body and the
+interpreter — so a passing run here is a per-chunk semantic equivalence
+proof, not just an end-to-end output check.
+
+The fallback tests pin the *never fail* contract: a region the lowering
+refuses (wholly or partly) must still conform, silently, through the
+interpreter.
+"""
+
+import pytest
+
+from repro.codegen import cache as codegen_cache
+from repro.codegen import lower
+from repro.frontend import compile_source
+from repro.ir.instructions import Print
+from repro.runtime import knobs
+from repro.runtime.executor import run_source_plan
+from repro.session import Session
+from support.conformance import outputs_close
+from support.progen import generate_program
+
+CASES = 50
+PROCESS_CASES = 10  # pool dispatch is ~10x the threads cost per program
+
+
+def _verify_on(monkeypatch):
+    monkeypatch.setenv("VERIFY_COMPILED", "1")
+    knobs.refresh()
+
+
+@pytest.mark.parametrize("chunk", range(0, CASES, 10))
+def test_progen_compiled_vs_interpreted_threads(chunk, monkeypatch):
+    _verify_on(monkeypatch)
+    for seed in range(chunk, min(chunk + 10, CASES)):
+        source = generate_program(seed)
+        baseline = run_source_plan(
+            compile_source(source), backend="threads", seed=seed,
+            compile_regions=False,
+        )
+        compiled = run_source_plan(
+            compile_source(source), backend="threads", seed=seed,
+            compile_regions=True,
+        )
+        assert outputs_close(compiled.output, baseline.output), (
+            f"seed={seed}: compiled threads run diverged"
+        )
+        assert compiled.steps == baseline.steps, (
+            f"seed={seed}: compiled step count diverged"
+        )
+
+
+@pytest.mark.parametrize("chunk", range(0, PROCESS_CASES, 5))
+def test_progen_compiled_vs_interpreted_processes(chunk, monkeypatch):
+    _verify_on(monkeypatch)
+    for seed in range(chunk, min(chunk + 5, PROCESS_CASES)):
+        source = generate_program(seed)
+        baseline = run_source_plan(
+            compile_source(source), backend="processes", seed=seed,
+            compile_regions=False,
+        )
+        compiled = run_source_plan(
+            compile_source(source), backend="processes", seed=seed,
+            compile_regions=True,
+        )
+        assert outputs_close(compiled.output, baseline.output), (
+            f"seed={seed}: compiled processes run diverged"
+        )
+        assert compiled.steps == baseline.steps, (
+            f"seed={seed}: compiled step count diverged"
+        )
+
+
+def test_progen_planned_sessions_compile(monkeypatch):
+    """Planned (PS-PDG) runs conform with compilation on, oracle armed."""
+    _verify_on(monkeypatch)
+    for seed in range(8):
+        source = generate_program(seed)
+        session = Session.from_source(
+            source, name=f"progen-c-{seed}", backend="threads",
+            compile_regions=True,
+        )
+        expected = session.execution.output
+        result = session.run("PS-PDG", workers=3)
+        assert outputs_close(result.output, expected), (
+            f"seed={seed}: compiled planned run diverged"
+        )
+
+
+SUPPORTED = """
+global a: int[24];
+global trace: int;
+
+func main() {
+  pragma omp parallel_for
+  for i in 0..24 {
+    a[i] = i * i;
+  }
+  pragma omp parallel_for reduction(+: trace)
+  for i in 0..24 {
+    trace = trace + a[i];
+    print("partial", a[i]);
+  }
+  print(trace);
+}
+"""
+
+
+def test_compiled_chunks_actually_ran():
+    baseline = run_source_plan(
+        compile_source(SUPPORTED), backend="threads",
+        compile_regions=False,
+    )
+    result = run_source_plan(
+        compile_source(SUPPORTED), backend="threads",
+        compile_regions=True,
+    )
+    assert result.output == baseline.output
+    compiled = sum(
+        region["compiled_chunks"] for region in result.parallel_regions
+    )
+    assert compiled > 0, "no chunk took the compiled path"
+    assert all(
+        region["interpreted_chunks"] == 0
+        for region in result.parallel_regions
+    )
+
+
+def test_unsupported_instruction_falls_back_and_conforms(monkeypatch):
+    """A loop the lowering refuses must run interpreted, bit-identical.
+
+    Threads only: the refusal is injected by monkeypatching the
+    lowering, which cannot reach the already-forked pool children of
+    the processes backend (their un-patched lowering would just keep
+    compiling — the fallback path itself is identical code in the
+    child, exercised by the Bailout tests in tests/codegen).
+    """
+    backend = "threads"
+    original = lower._Lowering.lower_instruction
+
+    def refuse_prints(self, out, inst):
+        if isinstance(inst, Print):
+            raise lower.Unsupported("test: print refused")
+        return original(self, out, inst)
+
+    monkeypatch.setattr(
+        lower._Lowering, "lower_instruction", refuse_prints
+    )
+    codegen_cache.reset()  # drop entries compiled before the patch
+    baseline = run_source_plan(
+        compile_source(SUPPORTED), backend=backend, compile_regions=False,
+    )
+    result = run_source_plan(
+        compile_source(SUPPORTED), backend=backend, compile_regions=True,
+    )
+    assert result.output == baseline.output
+    assert result.steps == baseline.steps
+    interpreted = sum(
+        region["interpreted_chunks"] for region in result.parallel_regions
+    )
+    compiled = sum(
+        region["compiled_chunks"] for region in result.parallel_regions
+    )
+    # First loop (no print) still compiles; the print loop falls back.
+    assert interpreted > 0, "refused loop did not fall back"
+    assert compiled > 0, "supported loop lost its compiled path"
+
+
+def test_whole_codegen_failure_still_conforms(monkeypatch):
+    """Even a crashing lowering must never take down a run."""
+
+    def explode(loop, logged, module_key=None):
+        raise RuntimeError("synthetic codegen bug")
+
+    monkeypatch.setattr(codegen_cache, "compile_chunk", explode)
+    codegen_cache.reset()
+    baseline = run_source_plan(
+        compile_source(SUPPORTED), backend="threads",
+        compile_regions=False,
+    )
+    result = run_source_plan(
+        compile_source(SUPPORTED), backend="threads",
+        compile_regions=True,
+    )
+    assert result.output == baseline.output
+    assert all(
+        region["compiled_chunks"] == 0
+        for region in result.parallel_regions
+    )

@@ -1,0 +1,88 @@
+"""The consolidated env-knob registry (repro.runtime.knobs).
+
+Every debug/bench flag the runtime reads from the environment lives in
+one registry with one truthiness rule, refreshed between tests by the
+autouse conftest fixture — these tests pin the rule, the refresh
+contract, and the payload-codec re-exports older tests monkeypatch.
+"""
+
+import pickle
+
+import pytest
+
+from repro.runtime import knobs, payload
+
+
+def test_unset_env_uses_default(monkeypatch):
+    monkeypatch.delenv("VERIFY_DIFFS", raising=False)
+    monkeypatch.delenv("RESIDENT_PRELUDE", raising=False)
+    knobs.refresh()
+    assert not knobs.VERIFY_DIFFS
+    assert knobs.RESIDENT_PRELUDE  # default-on knob
+
+
+@pytest.mark.parametrize("raw", ["", "0", "false", "False", " no ", "OFF"])
+def test_falsy_spellings(monkeypatch, raw):
+    monkeypatch.setenv("VERIFY_DIFFS", raw)
+    monkeypatch.setenv("RESIDENT_PRELUDE", raw)
+    knobs.refresh()
+    assert not knobs.VERIFY_DIFFS
+    assert not knobs.RESIDENT_PRELUDE
+
+
+@pytest.mark.parametrize("raw", ["1", "true", "yes", "on", "anything"])
+def test_truthy_spellings(monkeypatch, raw):
+    monkeypatch.setenv("VERIFY_COMPILED", raw)
+    knobs.refresh()
+    assert knobs.VERIFY_COMPILED
+
+
+def test_refresh_resets_manual_overrides(monkeypatch):
+    """A test that pokes ``knob.value`` cannot leak into the next test."""
+    monkeypatch.delenv("REPRO_COMPILE", raising=False)
+    knobs.refresh()
+    assert not knobs.REPRO_COMPILE
+    knobs.REPRO_COMPILE.value = True
+    assert knobs.REPRO_COMPILE
+    knobs.refresh()  # what the autouse conftest fixture runs
+    assert not knobs.REPRO_COMPILE
+
+
+def test_flag_registry_is_get_or_create():
+    first = knobs.flag("VERIFY_DIFFS")
+    assert first is knobs.VERIFY_DIFFS
+    fresh = knobs.flag("REPRO_TEST_ONLY_KNOB")
+    try:
+        assert knobs.flag("REPRO_TEST_ONLY_KNOB") is fresh
+        assert "REPRO_TEST_ONLY_KNOB" in knobs.as_dict()
+    finally:
+        knobs._KNOBS.pop("REPRO_TEST_ONLY_KNOB")
+
+
+def test_payload_reexports_are_knob_objects():
+    """payload.VERIFY_* stay monkeypatch-compatible module attributes."""
+    assert payload.VERIFY_DIFFS is knobs.VERIFY_DIFFS
+    assert payload.MEASURE_NAIVE is knobs.MEASURE_NAIVE
+    assert payload.VERIFY_PRELUDE is knobs.VERIFY_PRELUDE
+    assert payload.RESIDENT_PRELUDE is knobs.RESIDENT_PRELUDE
+    assert payload.VERIFY_COMPILED is knobs.VERIFY_COMPILED
+
+
+def test_env_wins_over_stale_value(monkeypatch):
+    monkeypatch.setenv("MEASURE_NAIVE", "1")
+    knobs.refresh()
+    assert knobs.MEASURE_NAIVE
+    monkeypatch.setenv("MEASURE_NAIVE", "0")
+    knobs.refresh()
+    assert not knobs.MEASURE_NAIVE
+
+
+def test_knob_repr_and_pickle_guard():
+    text = repr(knobs.VERIFY_DIFFS)
+    assert "VERIFY_DIFFS" in text
+    # Knobs are process-local switches; pickling one (e.g. into a wire
+    # header) is a bug. bool() them first — as encode_region does.
+    assert isinstance(bool(knobs.VERIFY_DIFFS), bool)
+    assert pickle.loads(pickle.dumps(bool(knobs.VERIFY_DIFFS))) in (
+        True, False,
+    )
