@@ -140,6 +140,23 @@ def _cmd_run(args):
     return 0
 
 
+def _cmd_knobs(args):
+    from repro.runtime import knobs
+
+    knobs.refresh()  # report what the *current* environment says
+    if args.markdown:
+        print(knobs.markdown_table())
+        return 0
+    snap = knobs.snapshot()
+    width = max(len(name) for name in snap)
+    for name, info in snap.items():
+        state = "on " if info["value"] else "off"
+        default = "on" if info["default"] else "off"
+        doc = " ".join(info["doc"].split())
+        print(f"{name:<{width}}  {state} (default {default})  {doc}")
+    return 0
+
+
 def _cmd_report(args):
     programs = args.programs or list(_kernel_names())
     sessions = [_build_session(program, args) for program in programs]
@@ -313,6 +330,16 @@ def build_parser():
     _add_opt_argument(p_report)
     _add_machine_arguments(p_report)
     p_report.set_defaults(func=_cmd_report)
+
+    p_knobs = sub.add_parser(
+        "knobs", help="list the runtime's environment knobs and their "
+                      "current values"
+    )
+    p_knobs.add_argument(
+        "--markdown", action="store_true",
+        help="emit the README's knob table (paste on registry changes)",
+    )
+    p_knobs.set_defaults(func=_cmd_knobs)
 
     return parser
 

@@ -1,14 +1,30 @@
-"""Compiled-chunk cache, keyed by module object identity.
+"""Compiled-entry cache: weak-keyed objects over content-hash source.
 
-Chunk functions close over IR *objects* (alloca keys, live-in register
-keys, callee functions), so an entry is only valid for the exact module
-instance it was compiled from.  Content hashes are not enough: the
-processes backend's children cap their decoded-module cache and may
-re-decode the same ``module_key`` into *new* objects, and a stale entry
-would then silently write through stale alloca keys into orphaned
-storage.  A :class:`weakref.WeakKeyDictionary` keyed by the module
-object makes staleness impossible and lets evicted modules drop their
-entries with them.
+Two layers, consulted in order:
+
+1. **Object layer** — a :class:`weakref.WeakKeyDictionary` keyed by the
+   module object.  Compiled functions close over IR *objects* (alloca
+   keys, live-in register keys, callee functions), so an entry is only
+   valid for the exact module instance it was compiled from.  Content
+   hashes are not enough here: the processes backend's children cap
+   their decoded-module cache and may re-decode the same ``module_key``
+   into *new* objects, and a stale entry would then silently write
+   through stale alloca keys into orphaned storage.  Weak keying makes
+   staleness impossible and lets evicted modules drop their entries.
+
+2. **Source layer** — lowered *source text* plus position-independent
+   ref descriptors (``("func", name)`` / ``("inst", function, uid)``),
+   keyed by the wire ``module_key`` (the content hash of the pickled
+   module stream).  When the object layer misses but the source layer
+   hits, the cached source is re-``exec``'d against refs re-resolved in
+   the new module — skipping the lowering itself, which is the
+   expensive half.  This is what lets a pool recycle (fresh forked
+   children, re-decoded modules) re-lower **zero** regions: forked
+   children inherit the parent's source cache, and
+   :func:`drain_new_sources` ships child-side lowerings back so the
+   parent's copy keeps up.  Memoized refusals live here too, so an
+   unsupported loop is refused once per *content*, not once per module
+   object lifetime.
 
 ``None`` entries memoize lowering refusals so an unsupported loop costs
 one failed compile, not one per chunk.
@@ -16,12 +32,37 @@ one failed compile, not one per chunk.
 
 import time
 import weakref
+from collections import OrderedDict
 
-from repro.codegen.lower import Unsupported, compile_chunk
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.codegen.lower import Unsupported, compile_chunk, exec_chunk
+from repro.codegen.seq import compile_sequence, exec_sequence
 
 _FN_CACHE = weakref.WeakKeyDictionary()
 
-STATS = {"compiles": 0, "hits": 0, "fallbacks": 0, "seconds": 0.0}
+#: (module_key, kind, ...identity) -> None (memoized refusal) or
+#: (source, ref descriptors).  Bounded LRU; survives module re-decodes
+#: and (via fork inheritance + drain/merge) pool recycles.
+_SOURCE_CACHE = OrderedDict()
+_SOURCE_CAP = 512
+
+#: Entries lowered in this process since the last drain — pool children
+#: ship these back so the parent's source cache learns child lowerings.
+_NEW_SOURCES = OrderedDict()
+
+#: module -> {function name -> {uid -> instruction}} (weak, lazy).
+_INST_INDEX = weakref.WeakKeyDictionary()
+
+_MISSING = object()
+
+STATS = {
+    "compiles": 0,
+    "hits": 0,
+    "source_hits": 0,
+    "fallbacks": 0,
+    "seconds": 0.0,
+}
 
 
 def compiled_chunk(module, loop, logged, module_key=None):
@@ -30,23 +71,64 @@ def compiled_chunk(module, loop, logged, module_key=None):
     ``None`` means the lowering refused the loop (or codegen itself
     failed) — run it interpreted.  Never raises.
     """
+    key = ("chunk", loop.header.parent.name, loop.header.name,
+           bool(logged))
+    return _cached(
+        module, key, module_key,
+        lambda: compile_chunk(loop, logged, module_key=module_key),
+    )
+
+
+def compiled_sequence(module, function, stops, logged, module_key=None):
+    """The cached :class:`CompiledSequence` for a function body, or ``None``.
+
+    ``stops`` is the content-only region-stop spec from
+    :func:`repro.codegen.seq.sequence_stops`; it is part of both cache
+    keys, so the same module under a different plan lowers separately.
+    Same never-fail contract as :func:`compiled_chunk`.
+    """
+    key = ("seq", function.name, tuple(stops), bool(logged))
+    return _cached(
+        module, key, module_key,
+        lambda: compile_sequence(function, stops, logged,
+                                 module_key=module_key),
+    )
+
+
+def _cached(module, key, module_key, build):
     per_module = _FN_CACHE.get(module)
     if per_module is None:
         per_module = _FN_CACHE[module] = {}
-    key = (loop.header.parent.name, loop.header.name, bool(logged))
     if key in per_module:
         STATS["hits"] += 1
         return per_module[key]
+    source_key = None
+    if module_key is not None:
+        source_key = (module_key,) + key
+        entry = _from_source(module, source_key, module_key)
+        if entry is not _MISSING:
+            per_module[key] = entry
+            return entry
     start = time.perf_counter()
     try:
-        entry = compile_chunk(loop, logged, module_key=module_key)
+        entry = build()
         STATS["compiles"] += 1
+        if source_key is not None:
+            try:
+                value = _source_value(entry.source, entry.refs)
+            except Unsupported:
+                value = _MISSING  # refs not position-independent; skip
+            if value is not _MISSING:
+                _remember_source(source_key, value)
     except Unsupported:
         entry = None
         STATS["fallbacks"] += 1
+        if source_key is not None:
+            _remember_source(source_key, None)
     except Exception:
         # Fallback, never fail: a codegen bug must not take down a run
-        # the interpreter can complete.
+        # the interpreter can complete.  Not memoized by content: a bug
+        # may be transient (e.g. an interrupted compile).
         entry = None
         STATS["fallbacks"] += 1
     STATS["seconds"] += time.perf_counter() - start
@@ -54,11 +136,127 @@ def compiled_chunk(module, loop, logged, module_key=None):
     return entry
 
 
+# -- the source layer ---------------------------------------------------------
+
+
+def _from_source(module, source_key, module_key):
+    """Rebuild an entry from cached source, or ``_MISSING`` on a miss."""
+    cached = _SOURCE_CACHE.get(source_key, _MISSING)
+    if cached is _MISSING:
+        return _MISSING
+    _SOURCE_CACHE.move_to_end(source_key)
+    if cached is None:  # memoized refusal survives module re-decodes
+        STATS["source_hits"] += 1
+        return None
+    source, descriptors = cached
+    start = time.perf_counter()
+    try:
+        refs = _resolve_refs(module, descriptors)
+        _mkey, kind = source_key[:2]
+        if kind == "chunk":
+            _mkey, _kind, function, header, logged = source_key
+            entry = exec_chunk(
+                source, refs, function, header, logged,
+                module_key=module_key,
+            )
+        else:
+            _mkey, _kind, function, stops, logged = source_key
+            entry = exec_sequence(
+                source, refs, function, stops, logged,
+                module_key=module_key,
+            )
+    except Exception:
+        # Resolution failed (the hash matched but the module differs?):
+        # drop the entry and let the caller re-lower from scratch.
+        _SOURCE_CACHE.pop(source_key, None)
+        return _MISSING
+    STATS["source_hits"] += 1
+    STATS["seconds"] += time.perf_counter() - start
+    return entry
+
+
+def _source_value(source, refs):
+    """The picklable, module-independent form of a lowered entry."""
+    return (source, _describe_refs(refs))
+
+
+def _describe_refs(refs):
+    descriptors = []
+    for obj in refs:
+        if isinstance(obj, Instruction):
+            descriptors.append(
+                ("inst", obj.parent.parent.name, obj.uid)
+            )
+        elif isinstance(obj, Function):
+            descriptors.append(("func", obj.name))
+        else:
+            raise Unsupported(f"unshareable ref {type(obj).__name__}")
+    return tuple(descriptors)
+
+
+def _resolve_refs(module, descriptors):
+    refs = []
+    for descriptor in descriptors:
+        if descriptor[0] == "func":
+            refs.append(module.function(descriptor[1]))
+        else:
+            _kind, function_name, uid = descriptor
+            refs.append(_instruction_index(module, function_name)[uid])
+    return refs
+
+
+def _instruction_index(module, function_name):
+    per_module = _INST_INDEX.get(module)
+    if per_module is None:
+        per_module = _INST_INDEX[module] = {}
+    index = per_module.get(function_name)
+    if index is None:
+        index = {
+            inst.uid: inst
+            for inst in module.function(function_name).instructions()
+        }
+        per_module[function_name] = index
+    return index
+
+
+def _remember_source(source_key, value):
+    for store in (_SOURCE_CACHE, _NEW_SOURCES):
+        store[source_key] = value
+        store.move_to_end(source_key)
+        while len(store) > _SOURCE_CAP:
+            store.popitem(last=False)
+
+
+def drain_new_sources():
+    """Entries lowered since the last drain, as picklable (key, value)s.
+
+    Pool children call this after running a payload and ship the result
+    back; the parent merges it (:func:`merge_sources`) so the *next*
+    generation of forked children inherits every lowering any child of
+    this generation performed.
+    """
+    items = list(_NEW_SOURCES.items())
+    _NEW_SOURCES.clear()
+    return items
+
+
+def merge_sources(items):
+    """Adopt source entries drained in another process (parent side)."""
+    for source_key, value in items:
+        if source_key not in _SOURCE_CACHE:
+            _remember_source(source_key, value)
+
+
 def reset():
     """Drop all cached entries and zero the counters (test isolation)."""
     _FN_CACHE.clear()
-    STATS.update({"compiles": 0, "hits": 0, "fallbacks": 0,
-                  "seconds": 0.0})
+    _SOURCE_CACHE.clear()
+    _NEW_SOURCES.clear()
+    _INST_INDEX.clear()
+    STATS.update({
+        "compiles": 0, "hits": 0, "source_hits": 0, "fallbacks": 0,
+        "seconds": 0.0,
+    })
 
 
 def stats():

@@ -27,6 +27,14 @@ Representation choices:
 * Stores come in a ``logged`` variant that marks the shim's write log
   with ``record_write`` semantics, byte-for-byte what the interpreted
   store handler logs; the unlogged variant is a plain slot assignment.
+* GEP bounds guards are *hoisted* out of linear-chain bodies when the
+  index is affine in the chunk induction with iteration-invariant
+  coefficients: a ``_fast`` predicate evaluated once per chunk checks
+  the index at the extreme iteration values, and selects an unguarded
+  body variant when every hoisted guard is provably in bounds.  The
+  guarded variant is kept verbatim as the fallback, so an actual
+  out-of-bounds access raises the interpreter's exact error at the
+  exact iteration, and both variants count the same steps.
 * Objects the generated code must reference by identity (alloca keys,
   live-in register keys, callee functions) arrive through the exec'd
   factory's ``refs`` tuple, so no IR object is ever re-created.
@@ -62,6 +70,7 @@ class CompiledChunk:
     header: str  # loop header block name
     logged: bool  # stores mark the shim's write log
     module_key: str = None  # content hash, when the caller knows it
+    refs: tuple = ()  # the IR objects the factory closed over
 
     @property
     def label(self):
@@ -88,6 +97,46 @@ def _literal(value):
     if isinstance(value, (bool, int, str)) or value is None:
         return repr(value)
     raise Unsupported(f"constant of type {type(value).__name__}")
+
+
+def _aff_sum(p, q, sign):
+    """Combine two affine-term expression strings under ``+``/``-``."""
+    if q == "0":
+        return p
+    if p == "0":
+        return q if sign == "+" else f"-({q})"
+    return f"({p} {sign} {q})"
+
+
+def _aff_add(x, y, sign="+"):
+    """``x ± y`` over ``(coefficient, constant)`` expression pairs."""
+    return _aff_sum(x[0], y[0], sign), _aff_sum(x[1], y[1], sign)
+
+
+def _aff_scale(aff, factor):
+    """``factor * aff`` where ``factor`` is iteration-invariant."""
+
+    def scale(term):
+        if term == "0" or factor == "0":
+            return "0"
+        if term == "1":
+            return factor
+        if factor == "1":
+            return term
+        return f"(({factor}) * ({term}))"
+
+    return scale(aff[0]), scale(aff[1])
+
+
+def _aff_term(aff, iv_expr):
+    """Render ``a * iv + b`` with ``iv`` substituted by ``iv_expr``."""
+    a, b = aff
+    if a == "0":
+        return b
+    scaled = iv_expr if a == "1" else f"({a}) * {iv_expr}"
+    if b == "0":
+        return scaled
+    return f"{scaled} + ({b})"
 
 
 def _zero_literal(value_type):
@@ -130,6 +179,8 @@ class _Lowering:
         self.globals = {}  # name -> local
         self.allocas = []  # (inst, ref name) allocas executed in the body
         self.counter = 0
+        self.prologue = None  # per-chunk lines emitted before the loop
+        self._skip_guards = frozenset()  # GEP ids lowered without guards
 
     # -- refs and operand rendering -----------------------------------------
 
@@ -286,16 +337,17 @@ class _Lowering:
         storage, offset = self.pointer(inst.pointer)
         index = self.scalar(inst.index)
         array_type = inst.pointer.type.pointee
-        suffix = (
-            f" out of bounds for {array_type!r} (gep #{inst.uid})"
-        )
-        out.emit(f"if not 0 <= {index} < {array_type.count}:")
-        out.indent += 1
-        out.emit(
-            "raise _EmulationError("
-            f"f\"index {{{index}}}\" + {suffix!r})"
-        )
-        out.indent -= 1
+        if id(inst) not in self._skip_guards:
+            suffix = (
+                f" out of bounds for {array_type!r} (gep #{inst.uid})"
+            )
+            out.emit(f"if not 0 <= {index} < {array_type.count}:")
+            out.indent += 1
+            out.emit(
+                "raise _EmulationError("
+                f"f\"index {{{index}}}\" + {suffix!r})"
+            )
+            out.indent -= 1
         stride = array_type.element.slots()
         scaled = index if stride == 1 else f"{index} * {stride}"
         combined = scaled if offset == "0" else f"{offset} + {scaled}"
@@ -428,19 +480,160 @@ class _Lowering:
         reachable = {id(block) for block in order}
         return [b for b in self.blocks if id(b) in reachable]
 
+    # -- guard hoisting -------------------------------------------------------
+
+    def _pristine_loads(self, chain):
+        """Loads of the induction storage before any possible store.
+
+        A load that happens before every store (and call — callees may
+        store) in the iteration always observes the ``_iv[0] = _i``
+        seed, so its value *is* the chunk induction variable.
+        """
+        induction = self.loop.canonical.induction
+        pristine = set()
+        clobbered = False
+        for block in chain:
+            for inst in block.instructions:
+                if (
+                    not clobbered
+                    and isinstance(inst, insts.Load)
+                    and inst.pointer is induction
+                ):
+                    pristine.add(id(inst))
+                elif isinstance(inst, (insts.Store, insts.Call)):
+                    clobbered = True
+        return pristine
+
+    def _affine_index(self, value, pristine, depth=0):
+        """``value`` as ``(a, b)`` expression strings with value =
+        ``a * _i + b``, or ``None`` when not provably affine.
+
+        ``a`` and ``b`` only reference iteration-invariant names
+        (constants, scalar int arguments, live-in registers), so the
+        pair can be evaluated once at chunk entry.
+        """
+        if depth > 12:
+            return None
+        if isinstance(value, Constant):
+            if isinstance(value.value, bool) or not isinstance(
+                value.value, int
+            ):
+                return None
+            return "0", repr(value.value)
+        if isinstance(value, Argument):
+            if value.type != INT:
+                return None
+            return "0", self.scalar(value)
+        if not isinstance(value, insts.Instruction) or value.type != INT:
+            return None
+        if id(value) in pristine:
+            return "1", "0"
+        if id(value) not in self.defined:
+            return "0", self.scalar(value)
+        if isinstance(value, insts.BinaryOp):
+            lhs = self._affine_index(value.lhs, pristine, depth + 1)
+            rhs = self._affine_index(value.rhs, pristine, depth + 1)
+            if lhs is None or rhs is None:
+                return None
+            if value.op == "add":
+                return _aff_add(lhs, rhs, "+")
+            if value.op == "sub":
+                return _aff_add(lhs, rhs, "-")
+            if value.op == "mul":
+                if lhs[0] == "0":
+                    return _aff_scale(rhs, lhs[1])
+                if rhs[0] == "0":
+                    return _aff_scale(lhs, rhs[1])
+            return None
+        if isinstance(value, insts.UnaryOp) and value.op == "neg":
+            inner = self._affine_index(value.operand, pristine, depth + 1)
+            return None if inner is None else _aff_scale(inner, "-1")
+        return None
+
+    def _hoisted_guards(self, chain):
+        """id(gep) -> (affine index, bound) for the hoistable guards."""
+        pristine = self._pristine_loads(chain)
+        hoisted = {}
+        for block in chain:
+            for inst in block.instructions:
+                if isinstance(inst, insts.GetElementPtr):
+                    affine = self._affine_index(inst.index, pristine)
+                    if affine is not None:
+                        hoisted[id(inst)] = (
+                            affine, inst.pointer.type.pointee.count
+                        )
+        return hoisted
+
+    def _emit_fast_predicate(self, hoisted):
+        """Emit the once-per-chunk ``_fast`` bounds proof (prologue).
+
+        An affine index over any iteration set takes its extremes at
+        the extreme iteration values, so checking ``min(iterations)``
+        and ``max(iterations)`` covers every iteration regardless of
+        scheduler chunking or coefficient sign.  Anything unexpected
+        (weird runtime types, overflow) just disables the fast path.
+        """
+        out = self.prologue
+        checks = []
+        for affine, count in hoisted.values():
+            ends = ("_ilo",) if affine[0] == "0" else ("_ilo", "_ihi")
+            for end in ends:
+                check = f"0 <= {_aff_term(affine, end)} < {count}"
+                if check not in checks:
+                    checks.append(check)
+        out.emit("_fast = False")
+        out.emit("if len(iterations):")
+        out.indent += 1
+        out.emit("try:")
+        out.indent += 1
+        out.emit("_ilo = min(iterations)")
+        out.emit("_ihi = max(iterations)")
+        out.emit("_fast = (")
+        out.indent += 1
+        for index, check in enumerate(checks):
+            trailer = "" if index == len(checks) - 1 else " and"
+            out.emit(f"{check}{trailer}")
+        out.indent -= 1
+        out.emit(")")
+        out.indent -= 1
+        out.emit("except Exception:")
+        out.indent += 1
+        out.emit("_fast = False")
+        out.indent -= 2
+
+    def _emit_chain(self, out, chain):
+        self._step_check(
+            out, sum(len(block.instructions) for block in chain)
+        )
+        for block in chain:
+            for inst in block.instructions[:-1]:
+                self.lower_instruction(out, inst)
+            # The chain's jump terminators are control-flow only
+            # (their step is in the block count above).
+
     def lower_body(self, out):
         """Emit the per-iteration statements (inside ``for _i in ...``)."""
         out.emit("_iv[0] = _i")
         chain = self._linear_chain()
         if chain is not None:
-            self._step_check(
-                out, sum(len(block.instructions) for block in chain)
+            hoisted = (
+                self._hoisted_guards(chain)
+                if self.prologue is not None else {}
             )
-            for block in chain:
-                for inst in block.instructions[:-1]:
-                    self.lower_instruction(out, inst)
-                # The chain's jump terminators are control-flow only
-                # (their step is in the block count above).
+            if hoisted:
+                self._emit_fast_predicate(hoisted)
+                out.emit("if _fast:")
+                out.indent += 1
+                self._skip_guards = frozenset(hoisted)
+                self._emit_chain(out, chain)
+                self._skip_guards = frozenset()
+                out.indent -= 1
+                out.emit("else:")
+                out.indent += 1
+                self._emit_chain(out, chain)
+                out.indent -= 1
+            else:
+                self._emit_chain(out, chain)
             return
         blocks = self._reachable_blocks()
         states = {block: index for index, block in enumerate(blocks)}
@@ -502,6 +695,8 @@ class _Lowering:
     def lower(self):
         # The body and entry sections are emitted first so ref
         # collection completes before the unpack line is written.
+        self.prologue = _Emitter()
+        self.prologue.indent = 2  # def _factory / def _chunk
         body = _Emitter()
         body.indent = 3  # def _factory / def _chunk / for _i
         self.lower_body(body)
@@ -538,6 +733,7 @@ class _Lowering:
         out.indent += 1
         out.emit("raise _Bailout() from None")
         out.indent -= 1
+        out.lines.extend(self.prologue.lines)
         out.emit("for _i in iterations:")
         out.lines.extend(body.lines)
         out.emit("interp.steps = _steps")
@@ -557,11 +753,13 @@ def lower_chunk(loop, logged):
     return lowering.lower(), lowering.refs
 
 
-def compile_chunk(loop, logged, module_key=None):
-    """Lower and ``exec``-compile one loop's chunk body."""
-    source, refs = lower_chunk(loop, bool(logged))
-    function = loop.header.parent.name
-    header = loop.header.name
+def exec_chunk(source, refs, function, header, logged, module_key=None):
+    """``exec``-compile lowered chunk source against concrete IR refs.
+
+    Split out of :func:`compile_chunk` so the content-hash source cache
+    can rebuild an entry for a *re-decoded* module (same source, new ref
+    objects) without re-lowering.
+    """
     variant = "logged" if logged else "plain"
     filename = f"<repro-codegen {function}:{header}:{variant}>"
     namespace = {}
@@ -574,4 +772,14 @@ def compile_chunk(loop, logged, module_key=None):
         header=header,
         logged=bool(logged),
         module_key=module_key,
+        refs=tuple(refs),
+    )
+
+
+def compile_chunk(loop, logged, module_key=None):
+    """Lower and ``exec``-compile one loop's chunk body."""
+    source, refs = lower_chunk(loop, bool(logged))
+    return exec_chunk(
+        source, refs, loop.header.parent.name, loop.header.name,
+        bool(logged), module_key=module_key,
     )

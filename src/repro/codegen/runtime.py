@@ -15,6 +15,7 @@ interpreted run's effects (the interpreter is the authority).
 """
 
 import math
+import re
 
 from repro.util.errors import EmulationError
 
@@ -56,6 +57,31 @@ u_cos = _guarded("cos", math.cos)
 u_exp = _guarded("exp", math.exp)
 u_log = _guarded("log", math.log)
 u_floor = _guarded("floor", lambda value: float(math.floor(value)))
+
+
+_REGISTER_LOCAL = re.compile(r"_r(\d+)(?:_[so])?$")
+
+
+def unbound_register(error):
+    """Map a generated-code ``UnboundLocalError`` to the interpreter's.
+
+    Sequential-stretch bodies keep SSA registers as plain Python locals;
+    a register whose defining block never executed is an *unbound local*
+    where the interpreter's lazy frame raises ``use of unexecuted
+    instruction %<uid>``.  Returns that :class:`EmulationError` for a
+    ``_r<uid>`` local, or the original error for anything else (a
+    codegen bug should stay loud and recognizable).
+    """
+    name = getattr(error, "name", None)
+    if not name:
+        found = re.search(r"'(_r\d+(?:_[so])?)'", str(error))
+        name = found.group(1) if found else ""
+    match = _REGISTER_LOCAL.match(name or "")
+    if match is None:
+        return error
+    return EmulationError(
+        f"use of unexecuted instruction %{match.group(1)}"
+    )
 
 
 # -- chunk execution -----------------------------------------------------------
@@ -206,3 +232,176 @@ def _verified(entry, shim, loop, frame, iterations, locks):
             + "; ".join(problems)
         )
     return "compiled"
+
+
+# -- sequential-stretch execution ----------------------------------------------
+
+
+def execute_sequence(entry, interp, function, args, interpret,
+                     verify=False):
+    """Run one function body; returns ``(mode, return value)``.
+
+    ``entry`` is a :class:`~repro.codegen.seq.CompiledSequence` (or
+    ``None`` for a refused function); ``interp`` is the parent
+    :class:`~repro.runtime.executor.ParallelInterpreter`; ``interpret``
+    is the *base* interpreter loop (``Interpreter._run_function`` bound
+    to ``interp``), used for the Bailout fallback and as the verify
+    authority.  Under ``verify`` the caller must pass a *logged* entry
+    for a function with no region stops (region dispatch is not
+    replayable).
+    """
+    from repro.emulator.interp import _Frame
+
+    if entry is None:
+        return "interpreted", interpret(function, args)
+    if verify:
+        return _verified_sequence(entry, interp, function, args,
+                                  interpret)
+    try:
+        return "compiled", entry.fn(interp, _Frame(function, args))
+    except Bailout:
+        return "interpreted", interpret(function, args)
+
+
+def _swap_log(interp, log):
+    """Install ``log`` with logged store handlers; returns a restorer."""
+    saved_log = interp.write_log
+    sentinel = object()
+    saved_handlers = interp.__dict__.get("_HANDLERS", sentinel)
+    interp.enable_write_log(log)
+
+    def restore():
+        interp.write_log = saved_log
+        if saved_handlers is sentinel:
+            interp.__dict__.pop("_HANDLERS", None)
+        else:
+            interp.__dict__["_HANDLERS"] = saved_handlers
+
+    return restore
+
+
+def _verified_sequence(entry, interp, function, args, interpret):
+    """Run the function compiled *and* interpreted; diff; keep interpreted.
+
+    The function-level analogue of :func:`_verified`: the compiled body
+    runs first against a scratch write log (logged store handlers are
+    installed for the duration so nested interpreted calls log too), its
+    image — writes, output slice, step delta, return value — is
+    captured, and every write is rolled back.  The interpreted run then
+    executes from the identical pre-call state and its effects stay.
+    Only called for functions whose call graph reaches no parallel
+    region: a region dispatch is not replayable.
+
+    The write-log diff only compares *observable* storages — globals
+    and pointer arguments.  Each run builds its own frame, so its
+    function-local allocas are fresh objects whose ids can never match
+    across runs, and they are unreachable once the call returns (the IR
+    has no channel for a pointer to escape except the return value,
+    which is compared directly).
+    """
+    from repro.emulator.interp import _Frame
+    from repro.runtime.payload import rollback_writes
+
+    observable = {
+        id(storage) for storage in interp._global_storage.values()
+    }
+    for value in args:
+        if type(value) is tuple and len(value) == 2:
+            observable.add(id(value[0]))
+
+    real_log = interp.write_log
+    out_mark = len(interp.output)
+    step_mark = interp.steps
+    scratch = {}
+    restore = _swap_log(interp, scratch)
+    bailed = False
+    compiled_error = None
+    compiled_value = None
+    try:
+        compiled_value = entry.fn(interp, _Frame(function, args))
+    except Bailout:
+        bailed = True
+    except Exception as error:
+        compiled_error = error
+    finally:
+        restore()
+    compiled_writes = {
+        key: value
+        for key, value in _log_image(scratch).items()
+        if key[0] in observable
+    }
+    compiled_output = interp.output[out_mark:]
+    compiled_steps = interp.steps - step_mark
+    rollback_writes(scratch)
+    del interp.output[out_mark:]
+    interp.steps = step_mark
+
+    if bailed:
+        return "interpreted", interpret(function, args)
+
+    interp_scratch = {}
+    restore = _swap_log(interp, interp_scratch)
+    try:
+        interp_value = interpret(function, args)
+    except Exception as error:
+        _merge_log(real_log, interp_scratch)
+        restore()
+        if compiled_error is None:
+            raise EmulationError(
+                f"VERIFY_COMPILED divergence at {entry.label}: compiled "
+                f"body succeeded but the interpreter raised "
+                f"{type(error).__name__}: {error}"
+            ) from error
+        raise  # both paths failed: the interpreted error is authoritative
+    restore()
+    interp_writes = {
+        key: value
+        for key, value in _log_image(interp_scratch).items()
+        if key[0] in observable
+    }
+    _merge_log(real_log, interp_scratch)
+    interp_output = interp.output[out_mark:]
+    interp_steps = interp.steps - step_mark
+
+    if compiled_error is not None:
+        raise EmulationError(
+            f"VERIFY_COMPILED divergence at {entry.label}: compiled body "
+            f"raised {type(compiled_error).__name__}: {compiled_error} "
+            f"but the interpreter succeeded"
+        ) from compiled_error
+    problems = []
+    if compiled_writes != interp_writes:
+        extra = sorted(set(compiled_writes) - set(interp_writes))
+        missing = sorted(set(interp_writes) - set(compiled_writes))
+        changed = sorted(
+            key
+            for key in set(compiled_writes) & set(interp_writes)
+            if compiled_writes[key] != interp_writes[key]
+        )
+        problems.append(
+            f"write logs differ (extra={extra!r} missing={missing!r} "
+            f"changed={changed!r})"
+        )
+    if compiled_output != interp_output:
+        problems.append(
+            f"outputs differ (compiled={compiled_output!r} "
+            f"interpreted={interp_output!r})"
+        )
+    if compiled_steps != interp_steps:
+        problems.append(
+            f"step counts differ (compiled={compiled_steps} "
+            f"interpreted={interp_steps})"
+        )
+    if compiled_value != interp_value or (
+        type(compiled_value) is not type(interp_value)
+    ):
+        problems.append(
+            f"return values differ (compiled={compiled_value!r} "
+            f"interpreted={interp_value!r})"
+        )
+    if problems:
+        raise EmulationError(
+            f"VERIFY_COMPILED divergence at {entry.label}: "
+            + "; ".join(problems)
+        )
+    return "compiled", interp_value

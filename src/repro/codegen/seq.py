@@ -1,0 +1,438 @@
+"""Lower a function's *sequential stretches* to one exec-compiled body.
+
+Where :mod:`repro.codegen.lower` compiles the body of a DOALL chunk,
+this module compiles everything *around* the parallel regions: the
+whole function lowers to a block-index state machine with the exact
+semantics of ``Interpreter._run_function`` — one step per executed
+instruction against ``max_steps`` (with the interpreter's own error
+message), the interpreter's lazy "use of unexecuted instruction" error
+for registers whose defining block never ran (mapped from Python's
+``UnboundLocalError``), and ``return`` lowering to a real return.
+
+Planned parallel regions are *stops*: their member loop blocks are
+excluded from the lowering, and every transfer into a region's header
+becomes a pseudo-state that
+
+1. syncs the step counter into the interpreter,
+2. flushes the registers the region dispatcher reads from the parent
+   frame (canonical bounds plus every lowered value the loop body uses)
+   into ``frame.registers`` — unbound registers stay absent, exactly
+   like the interpreter's lazy frame,
+3. calls ``interp._compiled_region_stop(header, frame)`` (the
+   :class:`~repro.runtime.executor.ParallelInterpreter` hook mirroring
+   ``_maybe_run_parallel_loop``), and
+4. resumes at the region's statically-known canonical exit block.
+
+Entry bindings (arguments, globals) are eager and raise
+:class:`~repro.codegen.runtime.Bailout` before any side effect, so the
+interpreter fallback replays the call from an untouched state.  Anything
+outside the supported matrix raises :class:`Unsupported` and the
+function stays interpreted — never fail, always fall back.
+"""
+
+import dataclasses
+
+from repro.analysis.loops import find_natural_loops
+from repro.ir import instructions as insts
+from repro.ir.types import PointerType
+from repro.codegen import runtime as _runtime
+from repro.codegen.lower import _UNOP_HELPERS, Unsupported, _Emitter, \
+    _Lowering
+
+
+@dataclasses.dataclass
+class CompiledSequence:
+    """One exec-compiled function body.
+
+    ``fn(interp, frame)`` has ``Interpreter._run_function`` semantics
+    for a fresh frame: it returns the function's return value, counts
+    steps, and dispatches planned regions through the interpreter's
+    ``_compiled_region_stop`` hook.
+    """
+
+    fn: object
+    source: str
+    function: str  # IR function name
+    stops: tuple  # ((header, (member header, ...)), ...) lowered against
+    logged: bool  # stores mark the interpreter's write log
+    module_key: str = None
+    refs: tuple = ()
+
+    @property
+    def label(self):
+        return f"@{self.function}"
+
+
+def sequence_stops(regions, function):
+    """The region-stop spec for ``function``, in block order.
+
+    ``regions`` maps header block name -> region parallelization (the
+    interpreter's dispatch table); only headers that name a block of
+    *this* function become stops.  The spec is pure content (names
+    only), so it keys the codegen source cache.
+    """
+    stops = []
+    for block in function.blocks:
+        region = regions.get(block.name)
+        if region is not None:
+            stops.append(
+                (block.name,
+                 tuple(recipe.header for recipe in region.recipes))
+            )
+    return tuple(stops)
+
+
+class _Stop:
+    """One resolved region stop: member loops, exit block, flush set."""
+
+    __slots__ = ("header", "block", "loops", "exit", "flush", "state",
+                 "used")
+
+    def __init__(self, header, block, loops, exit_block):
+        self.header = header
+        self.block = block
+        self.loops = loops
+        self.exit = exit_block
+        self.flush = ()
+        self.state = None
+        self.used = False
+
+
+class _SequenceLowering(_Lowering):
+    """Lowers one function's sequential stretches to a state machine.
+
+    Reuses the chunk lowering's operand rendering and per-instruction
+    statements; overrides control flow (whole-function state machine,
+    region stops, real returns), the step-check message, and the entry
+    bindings (arguments and globals instead of live-in registers).
+    """
+
+    def __init__(self, function, stops, logged):
+        # Deliberately not calling _Lowering.__init__: there is no loop.
+        self.loop = None
+        self.logged = bool(logged)
+        self.function = function
+        self.refs = []
+        self._ref_names = {}
+        self.live_ins = {}
+        self.args = {}
+        self.globals = {}
+        self.allocas = []
+        self.counter = 0
+        self.prologue = None  # no guard hoisting outside chunk bodies
+        self._skip_guards = frozenset()
+        self._stops = self._resolve_stops(stops)
+        self._excluded = {
+            id(block)
+            for stop in self._stops.values()
+            for loop in stop.loops
+            for block in loop.blocks
+        }
+        self.blocks = self._reachable_blocks()
+        self.defined = {
+            id(inst) for b in self.blocks for inst in b.instructions
+        }
+        for stop in self._stops.values():
+            if stop.used:
+                stop.flush = self._flush_set(stop)
+
+    # -- stop resolution -----------------------------------------------------
+
+    def _resolve_stops(self, stops):
+        loops_by_header = {
+            loop.header.name: loop
+            for loop in find_natural_loops(self.function)
+        }
+        resolved = {}
+        for header, members in stops:
+            loops = []
+            for member in members:
+                loop = loops_by_header.get(member)
+                if loop is None or loop.canonical is None:
+                    # The interpreter would raise PlanError here; stay
+                    # on the interpreter so it can.
+                    raise Unsupported(
+                        f"region member {member} lacks canonical form"
+                    )
+                loops.append(loop)
+            block = self.function.block(header)
+            exit_block = self.function.block(loops[-1].canonical.exit)
+            resolved[header] = _Stop(header, block, loops, exit_block)
+        return resolved
+
+    def _reachable_blocks(self):
+        """Lowered blocks reachable from entry, region loops projected out.
+
+        Traversal continues at a stop's canonical exit instead of
+        entering its loop blocks, mirroring the interpreter's takeover.
+        """
+        entry = self.function.entry
+        if id(entry) in self._excluded:
+            raise Unsupported("entry block belongs to a planned region")
+        order = []
+        seen = set()
+        stack = [entry]
+        while stack:
+            block = stack.pop()
+            if id(block) in seen:
+                continue
+            if id(block) in self._excluded:
+                raise Unsupported(
+                    f"control enters planned region mid-loop "
+                    f"({block.name})"
+                )
+            seen.add(id(block))
+            order.append(block)
+            terminator = (
+                block.instructions[-1] if block.instructions else None
+            )
+            if not isinstance(terminator, insts.Terminator):
+                continue  # refused at emission time
+            for successor in reversed(terminator.successors()):
+                stop = self._stops.get(successor.name)
+                if stop is not None:
+                    stop.used = True
+                    stack.append(stop.exit)
+                else:
+                    stack.append(successor)
+        reachable = {id(block) for block in order}
+        return [b for b in self.function.blocks if id(b) in reachable]
+
+    def _flush_set(self, stop):
+        """Lowered instructions the region dispatch reads from the frame.
+
+        The dispatcher evaluates each member loop's canonical bounds via
+        ``frame.registers`` and copies the whole register file into the
+        worker frames (chunk live-ins, pointer remaps), so every lowered
+        value the loop consumes must be flushed before the stop.
+        """
+        candidates = []
+        for loop in stop.loops:
+            canonical = loop.canonical
+            candidates.extend(
+                (canonical.lower, canonical.upper, canonical.step)
+            )
+            for block in loop.blocks:
+                for inst in block.instructions:
+                    candidates.extend(inst.operands)
+        flush = {}
+        for value in candidates:
+            if (
+                isinstance(value, insts.Instruction)
+                and id(value) in self.defined
+            ):
+                flush[id(value)] = value
+        return tuple(
+            sorted(flush.values(), key=lambda inst: inst.uid)
+        )
+
+    # -- overrides of the chunk lowering -------------------------------------
+
+    def _register(self, inst):
+        # No live-in protocol: every register the function reads is
+        # either defined in a lowered block (a plain local) or left
+        # unbound so UnboundLocalError maps to the interpreter's lazy
+        # "use of unexecuted instruction" error.
+        if isinstance(inst.type, PointerType):
+            return f"_r{inst.uid}_s", f"_r{inst.uid}_o"
+        return f"_r{inst.uid}"
+
+    def _step_check(self, out, count):
+        out.emit(f"_steps += {count}")
+        out.emit("if _steps > _max:")
+        out.indent += 1
+        out.emit(
+            "raise _EmulationError("
+            "f\"exceeded max_steps={_max}; infinite loop?\")"
+        )
+        out.indent -= 1
+
+    def _goto(self, out, target, states):
+        stop = self._stops.get(target.name)
+        if stop is not None:
+            out.emit(f"_b = {stop.state}")
+            out.emit("continue")
+        elif id(target) in states:
+            out.emit(f"_b = {states[id(target)]}")
+            out.emit("continue")
+        else:
+            raise Unsupported(
+                f"branch into planned region body ({target.name})"
+            )
+
+    def lower_terminator(self, out, inst, states):
+        if isinstance(inst, insts.Return):
+            out.emit("interp.steps = _steps")
+            if inst.operands:
+                out.emit(f"return {self.any_value(inst.value)}")
+            else:
+                out.emit("return None")
+        else:
+            super().lower_terminator(out, inst, states)
+
+    # -- the state machine ----------------------------------------------------
+
+    def lower_body(self, out):
+        states = {
+            id(block): index for index, block in enumerate(self.blocks)
+        }
+        used_stops = [
+            stop for stop in self._stops.values() if stop.used
+        ]
+        for offset, stop in enumerate(used_stops):
+            stop.state = len(self.blocks) + offset
+        out.emit(f"_b = {states[id(self.function.entry)]}")
+        out.emit("while True:")
+        out.indent += 1
+        for index, block in enumerate(self.blocks):
+            out.emit(f"{'if' if index == 0 else 'elif'} _b == {index}:")
+            out.indent += 1
+            if not block.instructions:
+                raise Unsupported(f"empty block {block.name}")
+            terminator = block.instructions[-1]
+            if not isinstance(terminator, insts.Terminator):
+                # Statically unreachable for verifier-passed modules;
+                # refusing keeps the interpreter's fell-off-the-end
+                # error exact.
+                raise Unsupported(f"unterminated block {block.name}")
+            self._step_check(out, len(block.instructions))
+            for inst in block.instructions[:-1]:
+                if isinstance(inst, insts.Terminator):
+                    raise Unsupported("terminator before end of block")
+                self.lower_instruction(out, inst)
+            self.lower_terminator(out, terminator, states)
+            out.indent -= 1
+        for stop in used_stops:
+            out.emit(f"elif _b == {stop.state}:")
+            out.indent += 1
+            out.emit("interp.steps = _steps")
+            self._emit_flush(out, stop)
+            out.emit(
+                f"interp._compiled_region_stop({stop.header!r}, frame)"
+            )
+            out.emit("_steps = interp.steps")
+            out.emit(f"_b = {states[id(stop.exit)]}")
+            out.indent -= 1
+        out.indent -= 1
+
+    def _emit_flush(self, out, stop):
+        for inst in stop.flush:
+            key = self.ref(inst)
+            if isinstance(inst.type, PointerType):
+                value = f"(_r{inst.uid}_s, _r{inst.uid}_o)"
+            else:
+                value = f"_r{inst.uid}"
+            out.emit("try:")
+            out.indent += 1
+            out.emit(f"frame.registers[{key}] = {value}")
+            out.indent -= 1
+            out.emit("except UnboundLocalError:")
+            out.indent += 1
+            out.emit("pass")
+            out.indent -= 1
+
+    # -- whole-body assembly ---------------------------------------------------
+
+    def _entry_bindings(self, out):
+        for index in sorted(self.args):
+            if self.args[index]:
+                out.emit(
+                    f"_a{index}_s, _a{index}_o = frame.args[{index}]"
+                )
+            else:
+                out.emit(f"_a{index} = frame.args[{index}]")
+        for name, local in self.globals.items():
+            out.emit(f"{local} = frame.global_overlay.get({name!r})")
+            out.emit(f"if {local} is None:")
+            out.indent += 1
+            out.emit(f"{local} = interp._global_storage[{name!r}]")
+            out.indent -= 1
+        if not out.lines:
+            out.emit("pass")
+
+    def lower(self):
+        body = _Emitter()
+        body.indent = 3  # def _factory / def _seq / try
+        self.lower_body(body)
+        entry = _Emitter()
+        entry.indent = 3  # def _factory / def _seq / try
+        self._entry_bindings(entry)
+
+        out = _Emitter()
+        out.emit("def _factory(refs, H):")
+        out.indent += 1
+        if self.refs:
+            names = ", ".join(
+                f"_k{index}" for index in range(len(self.refs))
+            )
+            trailer = "," if len(self.refs) == 1 else ""
+            out.emit(f"({names}{trailer}) = refs")
+        out.emit("_EmulationError = H.EmulationError")
+        out.emit("_Bailout = H.Bailout")
+        out.emit("_unbound = H.unbound_register")
+        out.emit("_trunc_div = H.trunc_div")
+        out.emit("_trunc_rem = H.trunc_rem")
+        for helper in sorted(set(_UNOP_HELPERS.values())):
+            out.emit(f"{helper} = H.{helper[1:]}")
+        out.emit("def _seq(interp, frame):")
+        out.indent += 1
+        out.emit("_objs = frame.objects")
+        out.emit("_out = interp.output")
+        out.emit("_max = interp.max_steps")
+        out.emit("_steps = interp.steps")
+        if self.logged:
+            out.emit("_log = interp.write_log")
+        out.emit("try:")
+        out.lines.extend(entry.lines)
+        out.emit("except (KeyError, IndexError, TypeError, ValueError):")
+        out.indent += 1
+        out.emit("raise _Bailout() from None")
+        out.indent -= 1
+        out.emit("try:")
+        out.lines.extend(body.lines)
+        out.emit("except UnboundLocalError as _exc:")
+        out.indent += 1
+        out.emit("raise _unbound(_exc) from None")
+        out.indent -= 1
+        out.indent -= 1
+        out.emit("return _seq")
+        return out.source()
+
+
+def lower_sequence(function, stops, logged):
+    """Generate (source, refs) for one function; raises Unsupported."""
+    lowering = _SequenceLowering(function, tuple(stops), bool(logged))
+    return lowering.lower(), lowering.refs
+
+
+def exec_sequence(source, refs, function, stops, logged,
+                  module_key=None):
+    """``exec``-compile lowered function source against concrete refs.
+
+    Split from :func:`compile_sequence` so the content-hash source
+    cache can rebuild an entry for a re-decoded module without
+    re-lowering (same split as :func:`repro.codegen.lower.exec_chunk`).
+    """
+    variant = "logged" if logged else "plain"
+    filename = f"<repro-codegen @{function}:{variant}>"
+    namespace = {}
+    exec(compile(source, filename, "exec"), namespace)  # noqa: S102
+    fn = namespace["_factory"](tuple(refs), _runtime)
+    return CompiledSequence(
+        fn=fn,
+        source=source,
+        function=function,
+        stops=tuple(stops),
+        logged=bool(logged),
+        module_key=module_key,
+        refs=tuple(refs),
+    )
+
+
+def compile_sequence(function, stops, logged, module_key=None):
+    """Lower and ``exec``-compile one function's sequential stretches."""
+    source, refs = lower_sequence(function, stops, logged)
+    return exec_sequence(
+        source, refs, function.name, tuple(stops), bool(logged),
+        module_key=module_key,
+    )

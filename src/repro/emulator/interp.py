@@ -37,6 +37,9 @@ class ExecutionResult:
     # backend, schedule, workers, chunk, seconds, per_worker timings,
     # and (processes) payloads / payload_bytes / dirty_slots.
     parallel_regions: list = dataclasses.field(default_factory=list)
+    # Sequential-stretch execution modes when region compilation was
+    # on: how many function calls ran compiled vs interpreted.
+    sequence_stats: dict = dataclasses.field(default_factory=dict)
 
     def formatted_output(self):
         lines = []

@@ -23,7 +23,7 @@ class OptContext:
 
     def __init__(self, function, module, pdg, pspdg, loops, machine,
                  payload_bytes=None, prelude_warm=None,
-                 compile_regions=False):
+                 compile_regions=False, compiled_speedup=None):
         self.function = function
         self.module = module
         self.pdg = pdg
@@ -45,6 +45,13 @@ class OptContext:
         # pass scales its cost estimates by the machine model's
         # ``compiled_speedup``.
         self.compile_regions = bool(compile_regions)
+        # Measured compiled-over-interpreted step-rate ratio per region
+        # label (``diagnostics.payload_feedback()``); overrides the
+        # machine model's ``compiled_speedup`` prior for regions the
+        # runtime actually observed in both modes.
+        self.compiled_speedup = (
+            dict(compiled_speedup) if compiled_speedup else {}
+        )
         self.loops_by_header = {
             loop.header.name: loop for loop in self.loops
         }

@@ -106,6 +106,7 @@ class OptimizationResult:
 def optimize_plan(
     function, module, pdg, pspdg, plan, level, machine=None, loops=None,
     payload_bytes=None, prelude_warm=None, compile_regions=False,
+    compiled_speedup=None,
 ):
     """Run the ``level`` pipeline over ``plan``; never mutates the input.
 
@@ -113,16 +114,20 @@ def optimize_plan(
     bytes-on-wire from a previous run (the runtime's ``payload_bytes``
     stat); the small-region serialization pass folds it into the
     machine model's dispatch-cost bar.  ``prelude_warm`` maps the same
-    labels to measured resident-prelude hit fractions
-    (``diagnostics.payload_feedback()`` produces both), discounting the
+    labels to measured resident-prelude hit fractions, discounting the
     bar for regions whose shared state the pool already holds.
+    ``compiled_speedup`` maps the same labels to measured compiled-over-
+    interpreted step-rate ratios, replacing the machine model's assumed
+    ``compiled_speedup`` prior per region
+    (``diagnostics.payload_feedback()`` produces all three).
     """
     level = OptLevel.coerce(level)
     machine = machine if machine is not None else DEFAULT_MACHINE
     ctx = OptContext(function, module, pdg, pspdg, loops, machine,
                      payload_bytes=payload_bytes,
                      prelude_warm=prelude_warm,
-                     compile_regions=compile_regions)
+                     compile_regions=compile_regions,
+                     compiled_speedup=compiled_speedup)
     report = OptReport(level=level, plan_name=plan.name)
     seeded = seed_regions(ctx, plan)
     optimized = PassManager(passes_for(level)).run(ctx, seeded, report)

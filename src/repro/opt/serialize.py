@@ -27,10 +27,13 @@ class SmallRegionSerializationPass:
             # Under region compilation a worker retires steps faster, so
             # the same static cost buys less wall-clock: the effective
             # cost shrinks and borderline regions serialize.  Dispatch
-            # overhead (the bars) is interpreter-independent.
+            # overhead (the bars) is interpreter-independent.  A
+            # measured per-region speedup (bench feedback) replaces the
+            # model's prior when the runtime observed one.
             cost = machine.effective_region_cost(
                 region_cost(ctx, region.headers),
                 compiled=ctx.compile_regions,
+                speedup=ctx.compiled_speedup.get(region.label),
             )
             override = None
             if cost is not None:

@@ -65,25 +65,50 @@ class Diagnostics:
     def payload_feedback(self):
         """Measured wire feedback for ``optimize_plan``, per region label.
 
-        Returns ``(payload_bytes, prelude_warm)``: average bytes-on-wire
-        per dispatch and the resident-prelude hit fraction, aggregated
-        over every recorded execution of each region.  Feed these to
-        ``optimize_plan(payload_bytes=..., prelude_warm=...)`` so the
-        small-region pass prices regions at what their dispatches
-        *actually* cost — cached preludes included — instead of at the
-        cold-start worst case.
+        Returns ``(payload_bytes, prelude_warm, compiled_speedup)``:
+        average bytes-on-wire per dispatch, the resident-prelude hit
+        fraction, and the measured compiled-over-interpreted step-rate
+        ratio, each aggregated over every recorded execution of its
+        region.  Feed these to ``optimize_plan(payload_bytes=...,
+        prelude_warm=..., compiled_speedup=...)`` so the small-region
+        pass prices regions at what their dispatches *actually* cost —
+        cached preludes and real codegen gains included — instead of at
+        the cold-start worst case and the machine model's prior.
+
+        ``compiled_speedup`` only covers regions observed in *both*
+        modes (pure compiled and pure interpreted executions); mixed
+        executions are skipped because their rate is not attributable
+        to either engine.
         """
         totals = {}
+        rates = {}
         for region in self.parallel_regions:
+            label = region["header"]
             payloads = region.get("payloads", 0)
-            if not payloads:
+            if payloads:
+                entry = totals.setdefault(
+                    label, {"bytes": 0, "payloads": 0, "hits": 0}
+                )
+                entry["bytes"] += region.get("payload_bytes", 0)
+                entry["payloads"] += payloads
+                entry["hits"] += region.get("prelude_hits", 0)
+            compiled = region.get("compiled_chunks", 0)
+            interpreted = region.get("interpreted_chunks", 0)
+            if bool(compiled) == bool(interpreted):  # mixed or empty
                 continue
-            entry = totals.setdefault(
-                region["header"], {"bytes": 0, "payloads": 0, "hits": 0}
+            steps = sum(
+                worker["steps"] for worker in region.get("per_worker", ())
             )
-            entry["bytes"] += region.get("payload_bytes", 0)
-            entry["payloads"] += payloads
-            entry["hits"] += region.get("prelude_hits", 0)
+            seconds = region.get("seconds", 0.0)
+            if not steps or seconds <= 0.0:
+                continue
+            mode = "compiled" if compiled else "interpreted"
+            entry = rates.setdefault(
+                label,
+                {"compiled": [0, 0.0], "interpreted": [0, 0.0]},
+            )
+            entry[mode][0] += steps
+            entry[mode][1] += seconds
         payload_bytes = {
             label: entry["bytes"] // max(1, entry["payloads"])
             for label, entry in totals.items()
@@ -92,7 +117,16 @@ class Diagnostics:
             label: entry["hits"] / entry["payloads"]
             for label, entry in totals.items()
         }
-        return payload_bytes, prelude_warm
+        compiled_speedup = {}
+        for label, entry in rates.items():
+            compiled_steps, compiled_seconds = entry["compiled"]
+            interp_steps, interp_seconds = entry["interpreted"]
+            if compiled_steps and interp_steps:
+                compiled_speedup[label] = (
+                    (compiled_steps / compiled_seconds)
+                    / (interp_steps / interp_seconds)
+                )
+        return payload_bytes, prelude_warm, compiled_speedup
 
     def runs(self, stage):
         """How many times ``stage`` actually executed (0 if never)."""

@@ -168,13 +168,18 @@ def _build_compile_regions(session):
     and which fell back.  The compiled functions themselves live in the
     codegen cache keyed by the session's module object — they close
     over IR identities, so the *artifact* carries only the summary.
+    Warming passes the module's wire key so the lowered *source* also
+    lands in the content-hash cache: pool children fork with it and can
+    rebuild entries for their re-decoded modules without re-lowering.
     """
     from repro.codegen import cache as codegen_cache
+    from repro.runtime import payload as payload_codec
 
     loops_by_header = {
         loop.header.name: loop for loop in session.loops
     }
-    summary = {"compiled": [], "fallback": [], "module_key": None}
+    module_key = payload_codec.module_codec(session.module).key
+    summary = {"compiled": [], "fallback": [], "module_key": module_key}
     seen = set()
     for regions in session.region_recipes.values():
         for region in regions:
@@ -185,7 +190,8 @@ def _build_compile_regions(session):
                 seen.add(header)
                 entries = [
                     codegen_cache.compiled_chunk(
-                        session.module, loop, logged=logged
+                        session.module, loop, logged=logged,
+                        module_key=module_key,
                     )
                     for logged in (True, False)
                 ]

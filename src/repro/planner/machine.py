@@ -47,14 +47,25 @@ class MachineModel:
     #: exec-compiled chunk body than through the interpreter's dispatch
     #: loop.  Applied by the small-region serialization pass when region
     #: compilation is on: compute gets cheaper, dispatch overhead does
-    #: not, so borderline regions tip toward serialization.
+    #: not, so borderline regions tip toward serialization.  The default
+    #: is the model's prior; callers with bench feedback pass a
+    #: *measured* value through ``speedup`` instead.
     compiled_speedup: float = 3.0
 
-    def effective_region_cost(self, cost, compiled=False):
-        """A region's estimated per-entry cost under the execution mode."""
+    def effective_region_cost(self, cost, compiled=False, speedup=None):
+        """A region's estimated per-entry cost under the execution mode.
+
+        ``speedup`` overrides the model's assumed ``compiled_speedup``
+        with a measured one (``diagnostics.payload_feedback()``).  The
+        result is clamped to at least 1: a region that executes any
+        work never costs zero, and the earlier truncating ``int()``
+        rounded every ``cost < speedup`` region down to free — which
+        let the serialization pass misprice tiny-but-real regions.
+        """
         if not compiled or cost is None:
             return cost
-        return int(cost / max(self.compiled_speedup, 1.0))
+        effective = speedup if speedup else self.compiled_speedup
+        return max(1, int(cost / max(effective, 1.0)))
 
     @property
     def chunk_choices(self):
@@ -72,7 +83,10 @@ class MachineModel:
             return 0
         warm = min(max(warm_fraction, 0.0), 1.0)
         discount = 1.0 - self.prelude_cache_discount * warm
-        return int(payload_bytes * self.payload_cost_per_byte * discount)
+        # Clamp like effective_region_cost: bytes actually shipped are
+        # never free, even when ``bytes * cost_per_byte`` truncates to 0.
+        return max(1, int(payload_bytes * self.payload_cost_per_byte
+                          * discount))
 
 
 DEFAULT_MACHINE = MachineModel()

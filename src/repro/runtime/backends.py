@@ -100,6 +100,9 @@ class ParallelRegion:
     # dependent: how often pool scheduling let a worker fall behind)
     compiled_chunks: int = 0  # chunks run through exec-compiled bodies
     interpreted_chunks: int = 0  # chunks run through the dispatch loop
+    codegen_compiles: int = 0  # fresh lowerings this region caused
+    codegen_source_hits: int = 0  # entries rebuilt from cached source
+    codegen_fallbacks: int = 0  # lowering refusals/failures
 
 
 class ExecutionBackend:
@@ -265,6 +268,7 @@ class ThreadsBackend(ExecutionBackend):
             # Compile once on the dispatching thread; jobs only look up.
             # Loops holding critical/atomic blocks stay interpreted — the
             # compiled body performs no lock transitions.
+            before = codegen_cache.stats()
             for loop in region.loops:
                 if any(
                     block.name in interp._critical_regions
@@ -275,6 +279,14 @@ class ThreadsBackend(ExecutionBackend):
                     entries[loop] = codegen_cache.compiled_chunk(
                         interp.module, loop, logged=logged
                     )
+            after = codegen_cache.stats()
+            region.codegen_compiles += after["compiles"] - before["compiles"]
+            region.codegen_source_hits += (
+                after["source_hits"] - before["source_hits"]
+            )
+            region.codegen_fallbacks += (
+                after["fallbacks"] - before["fallbacks"]
+            )
 
         def job(worker):
             start = time.perf_counter()
@@ -464,6 +476,7 @@ def _pool_chunk_entry(wire):
         compile_on = payload.get("compile_regions")
         verify = compile_on and payload.get("verify_compiled")
         compiled_chunks = interpreted_chunks = 0
+        codegen_before = codegen_cache.stats()
         try:
             start = time.perf_counter()
             for loop, iterations in segments:
@@ -497,6 +510,7 @@ def _pool_chunk_entry(wire):
                     }
             global_diffs, alloca_diffs, arg_diffs = diffs
 
+            codegen_after = codegen_cache.stats()
             return {
                 "steps": shim.steps,
                 "output": shim.output,
@@ -504,6 +518,20 @@ def _pool_chunk_entry(wire):
                 "dirty_slots": len(log),
                 "compiled_chunks": compiled_chunks,
                 "interpreted_chunks": interpreted_chunks,
+                "codegen_compiles": (
+                    codegen_after["compiles"] - codegen_before["compiles"]
+                ),
+                "codegen_source_hits": (
+                    codegen_after["source_hits"]
+                    - codegen_before["source_hits"]
+                ),
+                "codegen_fallbacks": (
+                    codegen_after["fallbacks"]
+                    - codegen_before["fallbacks"]
+                ),
+                # Source lowered child-side travels to the parent, whose
+                # cache forked children of the *next* epoch inherit.
+                "codegen_sources": codegen_cache.drain_new_sources(),
                 "global_diffs": global_diffs,
                 "alloca_diffs": alloca_diffs,
                 "arg_diffs": arg_diffs,
@@ -686,6 +714,10 @@ class ProcessesBackend(ExecutionBackend):
         region.dirty_slots += result.get("dirty_slots", 0)
         region.compiled_chunks += result.get("compiled_chunks", 0)
         region.interpreted_chunks += result.get("interpreted_chunks", 0)
+        region.codegen_compiles += result.get("codegen_compiles", 0)
+        region.codegen_source_hits += result.get("codegen_source_hits", 0)
+        region.codegen_fallbacks += result.get("codegen_fallbacks", 0)
+        codegen_cache.merge_sources(result.get("codegen_sources", ()))
         # Shared-memory effects, applied in worker order (deterministic;
         # a correct DOALL's shared writes are disjoint across workers).
         # Each write is marked in the parent's inter-region log first:

@@ -42,8 +42,11 @@ import time
 from repro.analysis.deptests import loop_iv_range  # noqa: F401 (re-export)
 from repro.analysis.loops import find_natural_loops
 from repro.analysis.reductions import REDUCIBLE_OPS  # noqa: F401 (re-export)
+from repro.codegen import cache as codegen_cache
+from repro.codegen import runtime as codegen_runtime
+from repro.codegen import seq as codegen_seq
 from repro.emulator.interp import Interpreter, _Frame, record_write
-from repro.ir.instructions import Terminator
+from repro.ir.instructions import Call, Terminator
 from repro.ir.types import FLOAT
 from repro.ir.values import Argument, GlobalVariable
 from repro.runtime import knobs
@@ -544,11 +547,20 @@ class ParallelInterpreter(Interpreter):
         self._locks = {}  # lock key -> worker index or None
         self._loops_by_function = {}
         self.parallel_regions = []  # per-region stats, in execution order
+        # Sequential-stretch compilation state: per-function entry memo
+        # (keyed by name/logged/verify), the module content hash (lazy —
+        # it keys the codegen source cache), and call-mode counters.
+        self._seq_entries = {}
+        self._seq_module_key = None
+        self._verify_safe_memo = {}
+        self.sequence_stats = {"compiled": 0, "interpreted": 0}
 
     def run(self, function_name="main", args=(), profiler=None):
         self.parallel_regions = []
+        self.sequence_stats = {"compiled": 0, "interpreted": 0}
         result = super().run(function_name, args, profiler)
         result.parallel_regions = list(self.parallel_regions)
+        result.sequence_stats = dict(self.sequence_stats)
         return result
 
     def invalidate_prelude(self):
@@ -595,6 +607,113 @@ class ParallelInterpreter(Interpreter):
                 for loop in find_natural_loops(function)
             }
         return self._loops_by_function[function.name].get(header_name)
+
+    # -- compiled sequential stretches -----------------------------------------
+
+    def _run_function(self, function, args):
+        """Run a function body compiled when region compilation is on.
+
+        The sequential stretches between parallel regions lower to one
+        exec-compiled state machine per function
+        (:mod:`repro.codegen.seq`); a refused lowering, a profiled run,
+        or a :class:`~repro.codegen.runtime.Bailout` falls back to the
+        inherited interpreter loop — never fail.  Compiled ``call``
+        sites re-enter here, so callees compile recursively.
+        """
+        entry, verify = self._sequence_entry(function)
+        if entry is None:
+            return super()._run_function(function, args)
+        mode, value = codegen_runtime.execute_sequence(
+            entry, self, function, args, self._interpret_function,
+            verify=verify,
+        )
+        self.sequence_stats[mode] += 1
+        return value
+
+    def _interpret_function(self, function, args):
+        """The base interpreter loop (Bailout fallback, verify authority)."""
+        return Interpreter._run_function(self, function, args)
+
+    def _sequence_entry(self, function):
+        """``(CompiledSequence or None, verify)`` for this function body.
+
+        Memoized per (name, logged, verify): the stop spec and the
+        content key are fixed for this interpreter's lifetime.  Under
+        ``VERIFY_COMPILED`` only functions whose call graph reaches no
+        planned region compile (the oracle replays the whole body, and
+        a region dispatch is not replayable); everything else runs
+        interpreted, where chunk-level verification still applies.
+        """
+        if not self.compile_regions or self._profiler is not None:
+            return None, False
+        verify = bool(knobs.VERIFY_COMPILED)
+        logged = self.write_log is not None
+        key = (function.name, logged, verify)
+        try:
+            return self._seq_entries[key]
+        except KeyError:
+            pass
+        stops = codegen_seq.sequence_stops(self._regions, function)
+        if verify and (stops or not self._verify_safe(function)):
+            result = (None, False)
+        else:
+            entry = codegen_cache.compiled_sequence(
+                self.module, function, stops,
+                logged=logged or verify,
+                module_key=self._content_key(),
+            )
+            result = (entry, verify)
+        self._seq_entries[key] = result
+        return result
+
+    def _verify_safe(self, function):
+        """True when no planned region is reachable through the call graph."""
+        cached = self._verify_safe_memo.get(function.name)
+        if cached is not None:
+            return cached
+        safe = True
+        seen = set()
+        stack = [function]
+        while stack:
+            fn = stack.pop()
+            if fn.name in seen:
+                continue
+            seen.add(fn.name)
+            if any(b.name in self._regions for b in fn.blocks):
+                safe = False
+                break
+            stack.extend(
+                inst.callee for inst in fn.instructions()
+                if isinstance(inst, Call)
+            )
+        self._verify_safe_memo[function.name] = safe
+        return safe
+
+    def _content_key(self):
+        if self._seq_module_key is None:
+            from repro.runtime.payload import module_codec
+
+            self._seq_module_key = module_codec(self.module).key
+        return self._seq_module_key
+
+    def _compiled_region_stop(self, header, frame):
+        """Region takeover for compiled sequential stretches.
+
+        Mirrors :meth:`_maybe_run_parallel_loop` minus the back-edge
+        check: compiled bodies only transfer here from outside the
+        region's loop blocks (the lowering refuses anything else), and
+        resume at the statically-known canonical exit.
+        """
+        region = self._regions[header]
+        loops = []
+        for recipe in region.recipes:
+            loop = self._find_loop(frame.function, recipe.header)
+            if loop is None or loop.canonical is None:
+                raise PlanError(
+                    f"parallel loop {recipe.header} lacks canonical form"
+                )
+            loops.append(loop)
+        self._execute_parallel_region(loops, region, frame)
 
     # -- the parallel region ------------------------------------------------------
 
@@ -661,6 +780,9 @@ class ParallelInterpreter(Interpreter):
             "retry_payload_bytes": region.retry_payload_bytes,
             "compiled_chunks": region.compiled_chunks,
             "interpreted_chunks": region.interpreted_chunks,
+            "codegen_compiles": region.codegen_compiles,
+            "codegen_source_hits": region.codegen_source_hits,
+            "codegen_fallbacks": region.codegen_fallbacks,
             "seconds": elapsed,
             "per_worker": [
                 {

@@ -25,11 +25,12 @@ _FALSY = ("", "0", "false", "no", "off")
 class Knob:
     """One boolean environment knob with a cached, refreshable value."""
 
-    __slots__ = ("name", "default", "value")
+    __slots__ = ("name", "default", "value", "doc")
 
-    def __init__(self, name, default=False):
+    def __init__(self, name, default=False, doc=""):
         self.name = name
         self.default = default
+        self.doc = doc
         self.value = self._read()
 
     def _read(self):
@@ -53,11 +54,25 @@ class Knob:
 _KNOBS = {}
 
 
-def flag(name, default=False):
-    """Register (or fetch) the knob for environment variable ``name``."""
+def flag(name, default=False, doc=""):
+    """Register (or fetch) the knob for environment variable ``name``.
+
+    Re-registering an existing name is fine — many modules share a
+    knob — but only with the *same* default: a conflicting default
+    would be silently ignored (the first registration won), leaving the
+    loser convinced the knob behaves differently than it does.
+    """
     knob = _KNOBS.get(name)
     if knob is None:
-        knob = _KNOBS[name] = Knob(name, default)
+        knob = _KNOBS[name] = Knob(name, default, doc=doc)
+    elif bool(knob.default) != bool(default):
+        raise ValueError(
+            f"knob {name} already registered with default="
+            f"{knob.default!r}; conflicting re-registration with "
+            f"default={default!r}"
+        )
+    elif doc and not knob.doc:
+        knob.doc = doc
     return knob
 
 
@@ -72,29 +87,76 @@ def as_dict():
     return {name: bool(knob) for name, knob in sorted(_KNOBS.items())}
 
 
-#: Cross-check the write-log diff against the legacy snapshot diff in
-#: every pool chunk; fail loudly on divergence.  Travels in the payload.
-VERIFY_DIFFS = flag("VERIFY_DIFFS")
+def snapshot():
+    """Full registry state, name -> {default, value, doc}.
 
-#: Measure what the legacy self-contained codec would have shipped
-#: (fills ``RegionPayloads.naive_bytes``).  Benchmark-only.
-MEASURE_NAIVE = flag("MEASURE_NAIVE")
+    The docs' env-knob table is generated from this (and a test pins
+    the table to it), so README switches can never drift from the
+    registry.
+    """
+    return {
+        name: {
+            "default": bool(knob.default),
+            "value": bool(knob),
+            "doc": knob.doc,
+        }
+        for name, knob in sorted(_KNOBS.items())
+    }
 
-#: Ship the full state alongside every dirty delta and compare the
-#: delta-applied resident image against a fresh decode in the worker.
-VERIFY_PRELUDE = flag("VERIFY_PRELUDE")
 
-#: The resident-prelude protocol itself (off = v1-style full state on
-#: every region).
-RESIDENT_PRELUDE = flag("RESIDENT_PRELUDE", default=True)
+def markdown_table():
+    """The README's env-knob table, rendered from the registry.
 
-#: Run every compiled chunk twice — compiled then interpreted — and
-#: fail loudly unless their write-log diffs, outputs, and step counts
-#: are identical.  The interpreted run's effects are kept.  Travels in
-#: the payload.
-VERIFY_COMPILED = flag("VERIFY_COMPILED")
+    ``python -m repro knobs --markdown`` prints this, the README embeds
+    it, and a drift test requires the embedded copy verbatim — so a new
+    knob is a one-line ``flag(...)`` plus pasting the regenerated table.
+    """
+    lines = ["| Knob | Default | Effect |", "|---|---|---|"]
+    for name, info in snapshot().items():
+        default = "on" if info["default"] else "off"
+        doc = " ".join(info["doc"].split())
+        lines.append(f"| `{name}` | {default} | {doc} |")
+    return "\n".join(lines)
 
-#: Default for ``SessionConfig.compile_regions`` / the runtime's
-#: ``compile_regions=None``: lower DOALL chunk bodies to exec-compiled
-#: Python instead of the interpreter loop.
-REPRO_COMPILE = flag("REPRO_COMPILE")
+
+VERIFY_DIFFS = flag(
+    "VERIFY_DIFFS",
+    doc="Cross-check the write-log diff against the legacy snapshot "
+        "diff in every pool chunk; fail loudly on divergence. Travels "
+        "in the payload.",
+)
+
+MEASURE_NAIVE = flag(
+    "MEASURE_NAIVE",
+    doc="Measure what the legacy self-contained codec would have "
+        "shipped (fills the naive-bytes bench stat). Benchmark-only.",
+)
+
+VERIFY_PRELUDE = flag(
+    "VERIFY_PRELUDE",
+    doc="Ship the full state alongside every dirty delta and compare "
+        "the delta-applied resident image against a fresh decode in "
+        "the worker.",
+)
+
+RESIDENT_PRELUDE = flag(
+    "RESIDENT_PRELUDE", default=True,
+    doc="The resident-prelude protocol itself (off = v1-style full "
+        "state on every region).",
+)
+
+VERIFY_COMPILED = flag(
+    "VERIFY_COMPILED",
+    doc="Run every compiled chunk (and sequential stretch) twice — "
+        "compiled then interpreted — and fail loudly unless write-log "
+        "diffs, outputs, and step counts are identical. The "
+        "interpreted run's effects are kept. Travels in the payload.",
+)
+
+REPRO_COMPILE = flag(
+    "REPRO_COMPILE",
+    doc="Default for SessionConfig.compile_regions / the runtime's "
+        "compile_regions=None: lower DOALL chunk bodies and the "
+        "sequential stretches between regions to exec-compiled Python "
+        "instead of the interpreter loop.",
+)

@@ -186,7 +186,8 @@ def test_reset_clears_entries_and_counters():
     codegen_cache.compiled_chunk(module, loop, logged=True)
     codegen_cache.reset()
     assert codegen_cache.stats() == {
-        "compiles": 0, "hits": 0, "fallbacks": 0, "seconds": 0.0,
+        "compiles": 0, "hits": 0, "source_hits": 0, "fallbacks": 0,
+        "seconds": 0.0,
     }
     assert len(codegen_cache._FN_CACHE) == 0
 
@@ -377,3 +378,137 @@ def test_guarded_math_maps_value_errors():
     assert codegen_runtime.u_floor(2.7) == 2.0
     assert codegen_runtime.u_not(True) is False
     assert codegen_runtime.u_not(0) == -1
+
+
+def test_unbound_register_maps_unboundlocal_to_interpreter_error():
+    error = UnboundLocalError(
+        "local variable '_r12' referenced before assignment"
+    )
+    error.name = "_r12"
+    mapped = codegen_runtime.unbound_register(error)
+    assert isinstance(mapped, EmulationError)
+    assert str(mapped) == "use of unexecuted instruction %12"
+    # Pointer halves map to the same instruction uid.
+    halves = codegen_runtime.unbound_register(
+        UnboundLocalError("x", name="_r7_s")
+    )
+    assert str(halves) == "use of unexecuted instruction %7"
+
+
+# -- guard hoisting --------------------------------------------------------------
+
+
+INDIRECT = """
+global a: int[32];
+global b: int[32];
+
+func main() {
+  pragma omp parallel_for
+  for i in 0..32 {
+    a[b[i]] = i;
+  }
+  print(a[0]);
+}
+"""
+
+
+def test_affine_guards_hoist_to_fast_and_slow_variants():
+    _module, loop = _loop(SIMPLE)
+    source = compile_chunk(loop, logged=False).source
+    assert "_fast = (" in source
+    assert "if _fast:" in source
+    assert "min(iterations)" in source and "max(iterations)" in source
+    # The guarded body survives verbatim as the fallback branch, with
+    # the interpreter's exact out-of-bounds error.
+    assert "out of bounds for" in source
+    fast, _, slow = source.partition("if _fast:")
+    # Identical step accounting in both variants.
+    import re
+
+    fast_steps = re.findall(r"_steps \+= (\d+)", slow)
+    assert len(fast_steps) == 2
+    assert fast_steps[0] == fast_steps[1]
+
+
+def test_indirect_index_keeps_per_iteration_guards():
+    _module, loop = _loop(INDIRECT)
+    source = compile_chunk(loop, logged=False).source
+    # b[i] hoists (affine), a[b[i]] cannot: the body still splits, but
+    # the a-guard stays in the fast branch too.
+    fast, sep, slow = source.partition("if _fast:")
+    if sep:  # the b[i] guard hoisted
+        fast_branch, _, slow_branch = slow.partition("else:")
+        assert fast_branch.count("out of bounds") == 1  # a[...] only
+        assert slow_branch.count("out of bounds") == 2
+    else:
+        assert source.count("out of bounds") == 2
+
+
+# -- sequential stretches --------------------------------------------------------
+
+
+def test_compile_sequence_lowers_whole_function():
+    from repro.codegen.seq import compile_sequence
+
+    module = compile_source(SIMPLE)
+    entry = compile_sequence(module.function("main"), (), logged=False)
+    assert entry.label == "@main"
+    # Interpreter-exact semantics: the sequential step-limit message,
+    # the UnboundLocalError -> "use of unexecuted instruction" mapping,
+    # and a real return.
+    assert "exceeded max_steps=" in entry.source
+    assert "_unbound" in entry.source
+    assert "return" in entry.source
+
+
+def test_sequence_stops_follow_function_block_order():
+    from types import SimpleNamespace
+
+    from repro.codegen.seq import sequence_stops
+
+    module = compile_source(SIMPLE)
+    function = module.function("main")
+    names = [block.name for block in function.blocks]
+    # Register regions against the last and first blocks; the spec must
+    # come back in block order regardless.
+    regions = {
+        names[-1]: SimpleNamespace(
+            recipes=[SimpleNamespace(header=names[-1])]
+        ),
+        names[0]: SimpleNamespace(
+            recipes=[SimpleNamespace(header=names[0])]
+        ),
+    }
+    stops = sequence_stops(regions, function)
+    assert stops == (
+        (names[0], (names[0],)),
+        (names[-1], (names[-1],)),
+    )
+
+
+def test_compiled_sequence_rebuilds_from_source_cache():
+    from repro.runtime.payload import module_codec
+
+    codegen_cache.reset()
+    module = compile_source(SIMPLE)
+    codec = module_codec(module)
+    first = codegen_cache.compiled_sequence(
+        module, module.function("main"), (), logged=False,
+        module_key=codec.key,
+    )
+    assert first is not None
+    before = codegen_cache.stats()
+    # Re-decode the same content into new IR objects: the object layer
+    # misses, the source layer rebuilds without re-lowering.
+    import pickle
+
+    clone = pickle.loads(codec.module_bytes)
+    rebuilt = codegen_cache.compiled_sequence(
+        clone, clone.function("main"), (), logged=False,
+        module_key=codec.key,
+    )
+    after = codegen_cache.stats()
+    assert rebuilt is not None and rebuilt is not first
+    assert rebuilt.source == first.source
+    assert after["compiles"] == before["compiles"]
+    assert after["source_hits"] == before["source_hits"] + 1

@@ -191,3 +191,198 @@ def test_whole_codegen_failure_still_conforms(monkeypatch):
         region["compiled_chunks"] == 0
         for region in result.parallel_regions
     )
+
+
+# -- sequential stretches --------------------------------------------------------
+
+
+def _verify_off(monkeypatch):
+    monkeypatch.delenv("VERIFY_COMPILED", raising=False)
+    knobs.refresh()
+
+
+STRETCHY = """
+global a: float[48];
+global total: float;
+
+func scale(x: float) -> float {
+  return x * 1.5 + 0.25;
+}
+
+func main() {
+  var warm: float = 0.0;
+  for i in 0..16 {
+    warm = warm + scale(float(i));
+  }
+  pragma omp parallel_for
+  for i in 0..48 {
+    a[i] = scale(float(i)) + warm;
+  }
+  pragma omp parallel_for reduction(+: total)
+  for i in 0..48 {
+    total = total + a[i];
+  }
+  for i in 0..4 {
+    print("tail", a[i * 12]);
+  }
+  print(total);
+}
+"""
+
+
+@pytest.mark.parametrize("backend", ["simulated", "threads", "processes"])
+def test_sequential_stretches_compile_and_conform(backend, monkeypatch):
+    """The code *between* regions runs compiled, interpreter-exact."""
+    _verify_off(monkeypatch)
+    baseline = run_source_plan(
+        compile_source(STRETCHY), backend=backend, compile_regions=False,
+    )
+    compiled = run_source_plan(
+        compile_source(STRETCHY), backend=backend, compile_regions=True,
+    )
+    assert compiled.output == baseline.output
+    assert compiled.steps == baseline.steps
+    # main's stretches plus every scale() call took the compiled path.
+    assert compiled.sequence_stats["compiled"] > 0
+    assert compiled.sequence_stats["interpreted"] == 0
+    assert baseline.sequence_stats == {"compiled": 0, "interpreted": 0}
+
+
+@pytest.mark.parametrize("chunk", range(0, CASES, 10))
+def test_progen_sequential_stretches_fuzz(chunk, monkeypatch):
+    """Whole-program compilation (stretches + chunks), no verify gate.
+
+    VERIFY_COMPILED keeps functions with region stops interpreted (the
+    oracle cannot replay a parallel dispatch), so this sweep runs with
+    the oracle off to drive progen mains through the sequence compiler.
+    """
+    _verify_off(monkeypatch)
+    compiled_runs = 0
+    for seed in range(chunk, min(chunk + 10, CASES)):
+        source = generate_program(seed)
+        baseline = run_source_plan(
+            compile_source(source), backend="threads", seed=seed,
+            compile_regions=False,
+        )
+        result = run_source_plan(
+            compile_source(source), backend="threads", seed=seed,
+            compile_regions=True,
+        )
+        assert outputs_close(result.output, baseline.output), (
+            f"seed={seed}: compiled whole-program run diverged"
+        )
+        assert result.steps == baseline.steps, (
+            f"seed={seed}: compiled step count diverged"
+        )
+        compiled_runs += result.sequence_stats.get("compiled", 0)
+    assert compiled_runs > 0, "no program took the sequence-compiled path"
+
+
+# -- guard hoisting --------------------------------------------------------------
+
+
+OOB = """
+global a: int[32];
+
+func main() {
+  pragma omp parallel_for
+  for i in 0..40 {
+    a[i] = i * 2;
+  }
+  print(a[31]);
+}
+"""
+
+
+@pytest.mark.parametrize("backend", ["simulated", "threads"])
+def test_out_of_bounds_raises_exact_interpreter_error(backend, monkeypatch):
+    """The hoisted fast path must never swallow a real bounds error.
+
+    The chunk compiler proves bounds for the whole chunk up front; when
+    the proof fails, the guarded fallback raises the interpreter's
+    exact message at the exact iteration.
+    """
+    from repro.emulator.interp import run_module
+    from repro.util.errors import EmulationError
+
+    _verify_off(monkeypatch)
+    with pytest.raises(EmulationError) as interpreted:
+        run_module(compile_source(OOB))
+    with pytest.raises(EmulationError) as compiled:
+        run_source_plan(
+            compile_source(OOB), backend=backend, compile_regions=True,
+        )
+    assert str(compiled.value) == str(interpreted.value)
+    assert "out of bounds" in str(compiled.value)
+
+
+# -- chunk accounting ------------------------------------------------------------
+
+
+def test_chunk_accounting_conforms_across_backends(monkeypatch):
+    """compiled/interpreted chunk counts agree on every backend.
+
+    The processes backend ships its counts back from the pool children
+    in the worker result dict; this pins that they arrive and match the
+    in-process backends.
+    """
+    _verify_off(monkeypatch)
+    counts = {}
+    for backend in ("simulated", "threads", "processes"):
+        result = run_source_plan(
+            compile_source(SUPPORTED), backend=backend,
+            compile_regions=True,
+        )
+        counts[backend] = (
+            sum(r["compiled_chunks"] for r in result.parallel_regions),
+            sum(r["interpreted_chunks"] for r in result.parallel_regions),
+            dict(result.sequence_stats),
+        )
+    assert counts["threads"] == counts["processes"]
+    compiled_chunks, interpreted_chunks, sequence_stats = counts["threads"]
+    assert compiled_chunks > 0 and interpreted_chunks == 0
+    assert sequence_stats == {"compiled": 1, "interpreted": 0}
+    # The simulated backend interleaves instructions one at a time (the
+    # race oracle) and never takes chunk bodies through codegen — but
+    # the sequential stretches around the regions still compile.
+    assert counts["simulated"][0] == 0
+    assert counts["simulated"][2] == sequence_stats
+
+
+# -- the source cache across pool recycles ---------------------------------------
+
+
+def test_pool_recycle_relowers_nothing(monkeypatch):
+    """Fresh pool children after a recycle rebuild from cached source.
+
+    The parent merges every child lowering into its source cache
+    (``drain_new_sources``/``merge_sources``); the next generation of
+    forked children inherits it, so re-running the same content after a
+    recycle must report source hits and zero fresh compiles.
+    """
+    from repro.runtime import backends
+
+    # Content no other test runs, so the long-lived pool children can't
+    # serve it from their per-epoch caches before this test starts.
+    recycled = SUPPORTED.replace("i * i", "i * i + 3")
+    _verify_off(monkeypatch)
+    codegen_cache.reset()
+    first = run_source_plan(
+        compile_source(recycled), backend="processes",
+        compile_regions=True,
+    )
+    assert sum(r["codegen_compiles"] for r in first.parallel_regions) > 0
+    # Exhaust the region budget so the next dispatch forks a fresh pool.
+    monkeypatch.setattr(backends, "POOL_RECYCLE_REGIONS", 1)
+    before = codegen_cache.stats()
+    second = run_source_plan(
+        compile_source(recycled), backend="processes",
+        compile_regions=True,
+    )
+    after = codegen_cache.stats()
+    assert second.output == first.output
+    assert sum(r["codegen_compiles"] for r in second.parallel_regions) == 0
+    assert sum(r["codegen_source_hits"] for r in second.parallel_regions) > 0
+    # The parent side (sequence entries included) re-lowered nothing
+    # either: every rebuild came from the content-hash source layer.
+    assert after["compiles"] == before["compiles"]

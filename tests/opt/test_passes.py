@@ -267,13 +267,15 @@ func main() {
 class TestSerializationCostFeedback:
     """Measured bytes-on-wire feed the process-pool dispatch bar."""
 
-    def _optimize(self, payload_bytes=None, prelude_warm=None):
+    def _optimize(self, payload_bytes=None, prelude_warm=None,
+                  compile_regions=False, compiled_speedup=None):
         session = Session.from_source(BULK, name="payload-feedback")
         plan = openmp_source_plan(session.function)
         return optimize_plan(
             session.function, session.module, session.pdg, session.pspdg,
             plan, OptLevel.O1, payload_bytes=payload_bytes,
-            prelude_warm=prelude_warm,
+            prelude_warm=prelude_warm, compile_regions=compile_regions,
+            compiled_speedup=compiled_speedup,
         )
 
     def test_without_measurements_the_region_stays_on_the_pool(self):
@@ -290,6 +292,21 @@ class TestSerializationCostFeedback:
         small = self._optimize(payload_bytes={label: 64})
         assert small.plan.regions[0].backend_override is None
 
+    def test_measured_speedup_replaces_the_model_prior(self):
+        label = self._optimize().plan.regions[0].label
+        # BULK's region costs ~4096 * body steps; the model's 3x prior
+        # keeps it above the serial bar, but a measured speedup large
+        # enough drops the effective cost below it.
+        prior = self._optimize(compile_regions=True)
+        assert prior.plan.regions[0].backend_override is None
+        measured = self._optimize(
+            compile_regions=True, compiled_speedup={label: 1_000_000.0}
+        )
+        assert measured.plan.regions[0].backend_override == "sequential"
+        # Without region compilation the measurement is ignored.
+        off = self._optimize(compiled_speedup={label: 1_000_000.0})
+        assert off.plan.regions[0].backend_override is None
+
     def test_serialization_cost_term(self):
         machine = MachineModel()
         assert machine.serialization_cost(0) == 0
@@ -297,6 +314,44 @@ class TestSerializationCostFeedback:
         assert machine.serialization_cost(100_000) == int(
             100_000 * machine.payload_cost_per_byte
         )
+
+    def test_serialization_cost_never_truncates_to_free(self):
+        """Sub-1 products must clamp to 1: shipped bytes are never free.
+
+        At the default 0.01/byte, any payload under 100 bytes used to
+        truncate to 0 instruction-equivalents."""
+        machine = MachineModel()
+        assert machine.serialization_cost(1) == 1
+        assert machine.serialization_cost(99) == 1
+        assert machine.serialization_cost(99, warm_fraction=1.0) == 1
+        # The zero-bytes case (nothing shipped) genuinely costs nothing.
+        assert machine.serialization_cost(0) == 0
+
+    def test_effective_region_cost_clamps_to_one(self):
+        """Regression: cost < speedup truncated to 0, mispricing a
+        small-but-real compiled region as free to the serialization
+        pass."""
+        machine = MachineModel(compiled_speedup=3.0)
+        assert machine.effective_region_cost(2, compiled=True) == 1
+        assert machine.effective_region_cost(1, compiled=True) == 1
+        assert machine.effective_region_cost(9, compiled=True) == 3
+        # Interpreted / unknown costs pass through untouched.
+        assert machine.effective_region_cost(2, compiled=False) == 2
+        assert machine.effective_region_cost(None, compiled=True) is None
+
+    def test_effective_region_cost_prefers_measured_speedup(self):
+        machine = MachineModel(compiled_speedup=3.0)
+        assert machine.effective_region_cost(
+            90, compiled=True, speedup=4.5
+        ) == 20
+        # None/0 measured values fall back to the model's prior, and
+        # sub-1 measured speedups never *raise* the cost.
+        assert machine.effective_region_cost(
+            90, compiled=True, speedup=None
+        ) == 30
+        assert machine.effective_region_cost(
+            90, compiled=True, speedup=0.25
+        ) == 90
 
     def test_warm_fraction_discounts_the_cost(self):
         machine = MachineModel()

@@ -283,10 +283,39 @@ def test_payload_feedback_aggregates_per_label():
     diagnostics.record_parallel({
         "header": "seq", "payloads": 0, "per_worker": [],
     })
-    payload_bytes, prelude_warm = diagnostics.payload_feedback()
+    payload_bytes, prelude_warm, speedup = diagnostics.payload_feedback()
     assert payload_bytes == {"L1": 4400 // 8, "L2": 300}
     assert prelude_warm == {"L1": 0.5, "L2": 0.5}
     assert "seq" not in payload_bytes
+    assert speedup == {}  # no chunk-mode executions recorded
+
+
+def test_payload_feedback_measures_compiled_speedup():
+    from repro.pipeline.diagnostics import Diagnostics
+
+    diagnostics = Diagnostics()
+    # Two interpreted runs at 1000 steps/s, one compiled at 4000.
+    for _ in range(2):
+        diagnostics.record_parallel({
+            "header": "L1", "seconds": 1.0, "interpreted_chunks": 4,
+            "per_worker": [{"steps": 500}, {"steps": 500}],
+        })
+    diagnostics.record_parallel({
+        "header": "L1", "seconds": 0.5, "compiled_chunks": 4,
+        "per_worker": [{"steps": 1000}, {"steps": 1000}],
+    })
+    # Mixed executions are not attributable to either engine.
+    diagnostics.record_parallel({
+        "header": "L2", "seconds": 1.0, "compiled_chunks": 2,
+        "interpreted_chunks": 2, "per_worker": [{"steps": 1000}],
+    })
+    # Compiled-only regions have no interpreted baseline to compare to.
+    diagnostics.record_parallel({
+        "header": "L3", "seconds": 1.0, "compiled_chunks": 2,
+        "per_worker": [{"steps": 1000}],
+    })
+    _bytes, _warm, speedup = diagnostics.payload_feedback()
+    assert speedup == {"L1": pytest.approx(4.0)}
 
 
 def test_parallel_report_shows_prelude_columns(session):
@@ -341,6 +370,19 @@ def test_cli_compile_and_report(tmp_path):
     assert "Fig. 13" in proc.stdout
     assert "Fig. 14" in proc.stdout
     assert "EP" in proc.stdout
+
+
+def test_cli_knobs_lists_the_registry():
+    from repro.runtime import knobs
+
+    proc = _run_cli("knobs")
+    assert proc.returncode == 0, proc.stderr
+    for name in knobs.snapshot():
+        assert name in proc.stdout
+    assert "default on" in proc.stdout  # RESIDENT_PRELUDE
+    markdown = _run_cli("knobs", "--markdown")
+    assert markdown.returncode == 0, markdown.stderr
+    assert markdown.stdout.strip() == knobs.markdown_table()
 
 
 def test_cli_rejects_unknown_program():

@@ -59,6 +59,54 @@ def test_flag_registry_is_get_or_create():
         knobs._KNOBS.pop("REPRO_TEST_ONLY_KNOB")
 
 
+def test_flag_conflicting_default_is_an_error():
+    """Re-registration must not silently drop a conflicting default.
+
+    Before the fix, ``flag(name, default=True)`` on an existing
+    default-False knob returned the old knob unchanged — the caller's
+    explicit default was ignored without a trace.
+    """
+    knobs.flag("REPRO_TEST_CONFLICT_KNOB", default=False)
+    try:
+        with pytest.raises(ValueError, match="conflicting"):
+            knobs.flag("REPRO_TEST_CONFLICT_KNOB", default=True)
+        # Same-default re-registration stays a cheap fetch.
+        again = knobs.flag("REPRO_TEST_CONFLICT_KNOB", default=False)
+        assert again is knobs._KNOBS["REPRO_TEST_CONFLICT_KNOB"]
+    finally:
+        knobs._KNOBS.pop("REPRO_TEST_CONFLICT_KNOB")
+
+
+def test_snapshot_carries_defaults_values_and_docs():
+    snap = knobs.snapshot()
+    assert set(snap) == set(knobs.as_dict())
+    entry = snap["RESIDENT_PRELUDE"]
+    assert entry["default"] is True
+    assert isinstance(entry["value"], bool)
+    assert "resident" in entry["doc"].lower()
+    # Every registered knob documents itself — the README table is
+    # generated from these lines.
+    assert all(info["doc"] for info in snap.values())
+
+
+def test_readme_knob_table_matches_the_registry():
+    """The README's knob table is the registry's, verbatim.
+
+    Adding/renaming a knob without pasting the regenerated table
+    (``python -m repro knobs --markdown``) fails here — README switches
+    can never drift from what the code actually reads.
+    """
+    from pathlib import Path
+
+    readme = Path(__file__).resolve().parents[2] / "README.md"
+    table = knobs.markdown_table()
+    assert "| `RESIDENT_PRELUDE` | on |" in table  # sanity
+    assert table in readme.read_text(), (
+        "README.md knob table is stale — regenerate it with "
+        "`python -m repro knobs --markdown` and paste it in"
+    )
+
+
 def test_payload_reexports_are_knob_objects():
     """payload.VERIFY_* stay monkeypatch-compatible module attributes."""
     assert payload.VERIFY_DIFFS is knobs.VERIFY_DIFFS
