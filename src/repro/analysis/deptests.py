@@ -148,31 +148,42 @@ def test_level(offset_a, offset_b, loop, inner_ivs):
     return LevelDependence.conservative()
 
 
+#: Widest level-loop span the variant test enumerates exactly; beyond
+#: it the interval approximation below answers instead.
+_VARIANT_SEARCH_CAP = 4096
+
+
 def _inner_variant_test(offset_a, offset_b, loop, inner_ivs):
     """Fallback when inner-loop iv terms are present.
 
-    The only refinement kept: if this loop's own iv appears with equal
-    nonzero coefficients on both sides and all inner iv terms are equal
-    *bounded* terms, a conflict needs a*(t2 - t1) = (inner terms + const
-    difference); we can still rule out the cross-iteration case when the
-    reachable difference range cannot contain a nonzero multiple of the
-    coefficient.  Bounding requires static ranges for every inner iv;
-    otherwise answer conservatively.
+    With this loop's own iv at equal nonzero coefficients ``a`` on both
+    sides, a conflict at iv-space distance ``d`` needs the *non-level*
+    part of ``offset_a - offset_b`` to equal ``a*d``.  Each bounded
+    inner-iv term contributes its lower-bound value once plus multiples
+    of ``coeff*step``, so the reachable non-level values are a constant
+    plus multiples of the gcd of those step terms, clipped to an
+    interval.  That stride matters: a row-major nest subscript
+    ``N*t + i`` reaches only multiples of ``N`` across ``t``, which can
+    never equal the small ``a*d`` an inner-carried conflict would need —
+    the interval alone cannot see this and used to reject every perfect
+    nest.  Bounding requires static ranges for every inner iv; otherwise
+    answer conservatively.
     """
     iv = loop.canonical.induction
     coeff = offset_a.coefficient(iv)
     if coeff == 0 or coeff != offset_b.coefficient(iv):
         return LevelDependence.conservative()
 
-    # difference = a*(t1 - t2) + (inner/const terms); collect the range of
-    # the non-level part of (offset_a - offset_b).
-    low = offset_a.constant - offset_b.constant
-    high = low
+    # Split the non-level part of (offset_a - offset_b) into a fixed
+    # constant, a reachable interval around it, and the stride its
+    # inner-iv terms move in.
+    const = offset_a.constant - offset_b.constant
+    low = 0
+    high = 0
+    stride = 0
     for var in set(offset_a.coefficients) | set(offset_b.coefficients):
         if var is iv:
             continue
-        term_coeff_a = offset_a.coefficient(var)
-        term_coeff_b = offset_b.coefficient(var)
         inner_loop = inner_ivs.get(var)
         bounds = loop_iv_range(inner_loop) if inner_loop is not None else None
         if bounds is None:
@@ -181,22 +192,53 @@ def _inner_variant_test(offset_a, offset_b, loop, inner_ivs):
         if upper <= lower:
             continue
         max_iv = lower + ((upper - 1 - lower) // step) * step
-        for term_coeff, sign in ((term_coeff_a, 1), (term_coeff_b, -1)):
-            contributions = sorted(
-                (sign * term_coeff * lower, sign * term_coeff * max_iv)
-            )
-            low += contributions[0]
-            high += contributions[1]
+        for term_coeff, sign in (
+            (offset_a.coefficient(var), 1),
+            (offset_b.coefficient(var), -1),
+        ):
+            if term_coeff == 0:
+                continue
+            const += sign * term_coeff * lower
+            reach = sign * term_coeff * (max_iv - lower)
+            low += min(0, reach)
+            high += max(0, reach)
+            if max_iv > lower:
+                stride = math.gcd(stride, abs(term_coeff * step))
 
-    # Conflict at distance d (= t2 - t1) requires coeff*d within [low, high].
-    intra = low <= 0 <= high
-    carried_forward = high >= coeff if coeff > 0 else low <= coeff
-    carried_backward = low <= -coeff if coeff > 0 else high >= -coeff
-    # Wider distances only matter if |coeff*d| can fall inside the range;
-    # the single-step checks above are conservative upper bounds already
-    # covering |d| >= 1 whenever any multiple fits.
-    max_abs = max(abs(low), abs(high))
+    def feasible(distance):
+        value = coeff * distance - const
+        if not low <= value <= high:
+            return False
+        if stride:
+            return value % stride == 0
+        return value == 0
+
+    level_bounds = loop_iv_range(loop)
+    if level_bounds is not None:
+        level_lower, level_upper, level_step = level_bounds
+        span = max(level_upper - level_lower, 0)
+        if span // level_step <= _VARIANT_SEARCH_CAP:
+            distances = range(level_step, span, level_step)
+            return LevelDependence(
+                feasible(0),
+                any(feasible(d) for d in distances),
+                any(feasible(-d) for d in distances),
+                True,
+            )
+
+    # Level loop unbounded (or too wide to enumerate): interval-only
+    # approximation over the folded range, as before.
+    total_low = const + low
+    total_high = const + high
+    intra = total_low <= 0 <= total_high
+    carried_forward = (
+        total_high >= coeff if coeff > 0 else total_low <= coeff
+    )
+    carried_backward = (
+        total_low <= -coeff if coeff > 0 else total_high >= -coeff
+    )
+    max_abs = max(abs(total_low), abs(total_high))
     if max_abs >= abs(coeff):
-        carried_forward = carried_forward or high > 0
-        carried_backward = carried_backward or low < 0
+        carried_forward = carried_forward or total_high > 0
+        carried_backward = carried_backward or total_low < 0
     return LevelDependence(intra, carried_forward, carried_backward, True)

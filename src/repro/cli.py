@@ -192,18 +192,41 @@ def _cmd_report(args):
     print(f"Optimization summary at -O{int(level)} (PS-PDG plan)")
     header = (
         f"{'bench':8} {'regions':>8} {'fused':>6} {'sync-rm':>8} "
-        f"{'serial':>7}"
+        f"{'serial':>7} {'xchg':>5} {'skew':>5} {'tile':>5} "
+        f"{'spec':>5} {'veto':>5} {'rej':>4} {'opt-ms':>7}"
     )
     print(header)
     print("-" * len(header))
     for session in sessions:
         result = session.optimization("PS-PDG")
         summary = result.report.summary()
+        rejections = sum(result.report.rejection_counts().values())
+        millis = sum(result.report.pass_seconds.values()) * 1000.0
         print(
             f"{session.config.name:8} {len(result.plan.regions):>8} "
             f"{summary['fused']:>6} {summary['syncs_removed']:>8} "
-            f"{summary['serialized']:>7}"
+            f"{summary['serialized']:>7} {summary['interchanged']:>5} "
+            f"{summary['skewed']:>5} {summary['tiled']:>5} "
+            f"{summary['speculated']:>5} {summary['vetoed']:>5} "
+            f"{rejections:>4} {millis:>7.1f}"
         )
+
+    print()
+    print("Per-pass wall time / rejections")
+    passes = {}
+    for session in sessions:
+        report = session.optimization("PS-PDG").report
+        counts = report.rejection_counts()
+        for name, seconds in report.pass_seconds.items():
+            total_s, total_r = passes.get(name, (0.0, 0))
+            passes[name] = (total_s + seconds, total_r + counts.get(name, 0))
+    header = f"{'pass':28} {'wall-ms':>8} {'rejected':>9}"
+    print(header)
+    print("-" * len(header))
+    for name, (seconds, rejected) in sorted(passes.items()):
+        print(f"{name:28} {seconds * 1000.0:>8.1f} {rejected:>9}")
+    if not passes:
+        print("(no passes ran at this level)")
 
     if args.diagnostics:
         for session in sessions:
@@ -217,10 +240,12 @@ def _cmd_report(args):
 
 def _add_opt_argument(parser):
     parser.add_argument(
-        "-O", "--opt", type=int, choices=(0, 1, 2), default=None,
+        "-O", "--opt", type=int, choices=(0, 1, 2, 3), default=None,
         help="optimization level: -O0 none, -O1 sync elimination + "
              "small-region serialization, -O2 adds parallel-region "
-             "fusion (default: 0)",
+             "fusion, -O3 adds loop interchange, skew-enabled fusion, "
+             "machine-model tiling, and oracle-validated speculation "
+             "(default: 0)",
     )
 
 

@@ -65,17 +65,20 @@ STATS = {
 }
 
 
-def compiled_chunk(module, loop, logged, module_key=None):
+def compiled_chunk(module, loop, logged, module_key=None, outer=None):
     """The cached :class:`CompiledChunk` for ``(loop, logged)``, or ``None``.
 
     ``None`` means the lowering refused the loop (or codegen itself
-    failed) — run it interpreted.  Never raises.
+    failed) — run it interpreted.  Never raises.  ``outer`` (an
+    interchanged nest's outer loop) selects the pair-iterating variant
+    and is part of both cache keys.
     """
     key = ("chunk", loop.header.parent.name, loop.header.name,
-           bool(logged))
+           bool(logged), outer.header.name if outer is not None else None)
     return _cached(
         module, key, module_key,
-        lambda: compile_chunk(loop, logged, module_key=module_key),
+        lambda: compile_chunk(loop, logged, module_key=module_key,
+                              outer=outer),
     )
 
 
@@ -154,7 +157,7 @@ def _from_source(module, source_key, module_key):
         refs = _resolve_refs(module, descriptors)
         _mkey, kind = source_key[:2]
         if kind == "chunk":
-            _mkey, _kind, function, header, logged = source_key
+            _mkey, _kind, function, header, logged, _outer = source_key
             entry = exec_chunk(
                 source, refs, function, header, logged,
                 module_key=module_key,

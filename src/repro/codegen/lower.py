@@ -162,10 +162,13 @@ class _Emitter:
 class _Lowering:
     """Lowers one loop; collects refs/bindings while emitting the body."""
 
-    def __init__(self, loop, logged):
+    def __init__(self, loop, logged, outer=None):
         if loop.canonical is None:
             raise Unsupported("loop lacks canonical form")
+        if outer is not None and outer.canonical is None:
+            raise Unsupported("nest outer loop lacks canonical form")
         self.loop = loop
+        self.outer = outer  # interchanged nest: iterations are pairs
         self.logged = logged
         self.function = loop.header.parent
         self.blocks = [b for b in loop.blocks if b is not loop.header]
@@ -613,12 +616,17 @@ class _Lowering:
 
     def lower_body(self, out):
         """Emit the per-iteration statements (inside ``for _i in ...``)."""
+        if self.outer is not None:
+            out.emit("_ivo[0] = _t")
         out.emit("_iv[0] = _i")
         chain = self._linear_chain()
         if chain is not None:
+            # Guard hoisting is scalar-only: min/max over nest pair
+            # iterations would compare tuples, not induction values.
             hoisted = (
                 self._hoisted_guards(chain)
-                if self.prologue is not None else {}
+                if self.prologue is not None and self.outer is None
+                else {}
             )
             if hoisted:
                 self._emit_fast_predicate(hoisted)
@@ -668,6 +676,10 @@ class _Lowering:
     def _entry_bindings(self, out):
         """Emit the eager entry bindings (inside the Bailout try)."""
         out.emit(f"_iv = _objs[{self.ref(self.loop.canonical.induction)}]")
+        if self.outer is not None:
+            out.emit(
+                f"_ivo = _objs[{self.ref(self.outer.canonical.induction)}]"
+            )
         for inst, pointer in self.live_ins.values():
             key = self.ref(inst)
             if pointer:
@@ -734,7 +746,10 @@ class _Lowering:
         out.emit("raise _Bailout() from None")
         out.indent -= 1
         out.lines.extend(self.prologue.lines)
-        out.emit("for _i in iterations:")
+        if self.outer is not None:
+            out.emit("for _t, _i in iterations:")
+        else:
+            out.emit("for _i in iterations:")
         out.lines.extend(body.lines)
         out.emit("interp.steps = _steps")
         out.indent -= 1
@@ -742,14 +757,16 @@ class _Lowering:
         return out.source()
 
 
-def lower_chunk(loop, logged):
+def lower_chunk(loop, logged, outer=None):
     """Generate (source, refs) for one loop; raises :class:`Unsupported`.
 
     Lowering the body *collects* the entry bindings (live-ins, args,
     globals, refs), so the body is emitted first and spliced into the
-    chunk skeleton by :meth:`_Lowering.lower`.
+    chunk skeleton by :meth:`_Lowering.lower`.  With ``outer`` (an
+    interchanged nest's outer loop) the chunk iterates ``(outer,
+    inner)`` pairs and seeds both induction storages.
     """
-    lowering = _Lowering(loop, logged)
+    lowering = _Lowering(loop, logged, outer=outer)
     return lowering.lower(), lowering.refs
 
 
@@ -776,9 +793,9 @@ def exec_chunk(source, refs, function, header, logged, module_key=None):
     )
 
 
-def compile_chunk(loop, logged, module_key=None):
+def compile_chunk(loop, logged, module_key=None, outer=None):
     """Lower and ``exec``-compile one loop's chunk body."""
-    source, refs = lower_chunk(loop, bool(logged))
+    source, refs = lower_chunk(loop, bool(logged), outer=outer)
     return exec_chunk(
         source, refs, loop.header.parent.name, loop.header.name,
         bool(logged), module_key=module_key,

@@ -88,7 +88,7 @@ def unbound_register(error):
 
 
 def execute_chunk(entry, shim, loop, frame, iterations, locks,
-                  verify=False):
+                  verify=False, outer=None):
     """Run one chunk; returns ``"compiled"`` or ``"interpreted"``.
 
     ``entry`` is a :class:`~repro.codegen.lower.CompiledChunk` (or
@@ -97,16 +97,20 @@ def execute_chunk(entry, shim, loop, frame, iterations, locks,
     shim (``shim.write_log is not None``), except under ``verify`` where
     the caller must supply a *logged* entry and a shim with the logged
     store handler installed (the oracle needs both runs' write logs).
+    ``outer`` (an interchanged nest's outer loop) means ``iterations``
+    are ``(outer, inner)`` pairs; the entry, when given, must have been
+    compiled with the same ``outer``.
     """
     if entry is None:
-        shim.run_chunk(loop, frame, iterations, locks)
+        shim.run_chunk(loop, frame, iterations, locks, outer=outer)
         return "interpreted"
     if verify:
-        return _verified(entry, shim, loop, frame, iterations, locks)
+        return _verified(entry, shim, loop, frame, iterations, locks,
+                         outer=outer)
     try:
         entry.fn(shim, frame, iterations)
     except Bailout:
-        shim.run_chunk(loop, frame, iterations, locks)
+        shim.run_chunk(loop, frame, iterations, locks, outer=outer)
         return "interpreted"
     return "compiled"
 
@@ -131,7 +135,7 @@ def _merge_log(real_log, scratch):
         real_log.setdefault(key, entry)
 
 
-def _verified(entry, shim, loop, frame, iterations, locks):
+def _verified(entry, shim, loop, frame, iterations, locks, outer=None):
     """Run the chunk compiled *and* interpreted; diff; keep interpreted.
 
     The compiled run executes first against a scratch write log, its
@@ -174,13 +178,13 @@ def _verified(entry, shim, loop, frame, iterations, locks):
     if bailed:
         # Not a divergence: the frame lacks a live-in the compiled entry
         # binds eagerly.  Plain interpreter fallback.
-        shim.run_chunk(loop, frame, iterations, locks)
+        shim.run_chunk(loop, frame, iterations, locks, outer=outer)
         return "interpreted"
 
     interp_scratch = {}
     shim.write_log = interp_scratch
     try:
-        shim.run_chunk(loop, frame, iterations, locks)
+        shim.run_chunk(loop, frame, iterations, locks, outer=outer)
     except Exception as error:
         _merge_log(real_log, interp_scratch)
         shim.write_log = real_log

@@ -15,12 +15,29 @@ checked against the sequential PDG:
   below the machine model's cost thresholds fall back to sequential or
   ``threads`` execution instead of paying process-pool pickling.
 
+The ``-O3`` tier adds three transform passes plus a validation gate:
+
+* :class:`~repro.opt.interchange.LoopInterchangePass` — a serial-outer /
+  DOALL-inner nest whose direction vectors are all ``(*, =)`` dispatches
+  once, partitioned over the inner space, instead of once per outer
+  iteration;
+* :class:`~repro.opt.fusion.SkewedRegionFusionPass` — fusion that also
+  accepts uniform non-zero dependence distances by shifting the
+  partner's partition;
+* :class:`~repro.opt.tiling.TilingPass` — the machine model floors
+  iterations-per-payload so tiny chunks stop paying dispatch overhead;
+* :class:`~repro.opt.speculate.SpeculationValidationPass` — transforms
+  applied on an *inconclusive* static test are validated against the
+  simulated oracle (and vetoed on any divergence) before a real backend
+  ever sees the plan.
+
 Entry point: :func:`optimize_plan`; levels: :class:`OptLevel`.
 """
 
 from repro.opt.context import OptContext
-from repro.opt.fusion import RegionFusionPass
-from repro.opt.legality import can_fuse, sync_is_redundant
+from repro.opt.fusion import RegionFusionPass, SkewedRegionFusionPass
+from repro.opt.interchange import LoopInterchangePass
+from repro.opt.legality import can_fuse, can_interchange, sync_is_redundant
 from repro.opt.levels import OptLevel
 from repro.opt.manager import (
     PIPELINES,
@@ -32,7 +49,9 @@ from repro.opt.manager import (
     seed_regions,
 )
 from repro.opt.serialize import SmallRegionSerializationPass
+from repro.opt.speculate import SpeculationValidationPass
 from repro.opt.sync import SyncEliminationPass
+from repro.opt.tiling import TilingPass
 
 __all__ = [
     "OptContext",
@@ -41,10 +60,15 @@ __all__ = [
     "OptimizationResult",
     "PassManager",
     "PIPELINES",
+    "LoopInterchangePass",
     "RegionFusionPass",
+    "SkewedRegionFusionPass",
     "SmallRegionSerializationPass",
+    "SpeculationValidationPass",
     "SyncEliminationPass",
+    "TilingPass",
     "can_fuse",
+    "can_interchange",
     "optimize_plan",
     "passes_for",
     "seed_regions",

@@ -10,11 +10,15 @@ import enum
 
 
 class OptLevel(enum.IntEnum):
-    """``-O0`` (no transforms) / ``-O1`` (local) / ``-O2`` (full)."""
+    """``-O0`` (no transforms) / ``-O1`` (local: sync elimination +
+    small-region serialization) / ``-O2`` (``-O1`` + parallel-region
+    fusion) / ``-O3`` (``-O2`` + loop interchange, skewed fusion, and
+    machine-model tiling, with oracle-validated speculation)."""
 
     O0 = 0
     O1 = 1
     O2 = 2
+    O3 = 3
 
     @classmethod
     def coerce(cls, value):

@@ -10,8 +10,10 @@ and the loop's :class:`LoopPlan` sheds the matching ``serialized_uids``
 so the analytical critical-path model sees the win too.
 """
 
+import dataclasses
+
 from repro.opt.legality import sync_annotations_in, sync_is_redundant
-from repro.planner.plans import ProgramPlan, RegionDescriptor
+from repro.planner.plans import ProgramPlan
 
 
 class SyncEliminationPass:
@@ -47,12 +49,12 @@ class SyncEliminationPass:
                     self._shed_serialized_uids(
                         ctx, loop_plans, header, guarded
                     )
+            # ``replace`` (not a field-by-field rebuild) so descriptor
+            # fields later passes own — shifts, tiles, nest headers —
+            # survive this pass untouched.
             regions.append(
-                RegionDescriptor(
-                    headers=region.headers,
-                    technique=region.technique,
-                    backend_override=region.backend_override,
-                    removed_sync_uids=frozenset(removed),
+                dataclasses.replace(
+                    region, removed_sync_uids=frozenset(removed)
                 )
             )
         return ProgramPlan(
@@ -69,8 +71,6 @@ class SyncEliminationPass:
             block = ctx.blocks_by_name.get(name)
             if block is not None:
                 guarded_uids.update(inst.uid for inst in block.instructions)
-        import dataclasses
-
         loop_plans[header] = dataclasses.replace(
             loop_plan,
             serialized_uids=loop_plan.serialized_uids - guarded_uids,

@@ -1,0 +1,50 @@
+"""Strip-mine/tiling: a machine-model floor on iterations per payload.
+
+Every dispatched chunk pays fixed overhead — worker frames, scheduling,
+and on the ``processes`` backend a wire round-trip the resident-prelude
+cache only partly hides.  When a region's static cost and trip count are
+known, :meth:`MachineModel.tile_iterations` derives the smallest chunk
+whose compute amortizes that overhead; the descriptor records it as the
+region's tile shape and the runtime caps the effective worker count at
+``ceil(trip / tile)``, padding the remaining workers with empty chunks.
+A coarser partition of a DOALL space is just another legal schedule, so
+this pass needs no legality predicate — only the cost model.
+
+Runs last in the ``-O3`` pipeline so it sees final region shapes
+(fused members, interchanged nests) and tiles the space the runtime
+will actually partition.
+"""
+
+import dataclasses
+
+from repro.opt.cost import region_cost, static_trip_count
+from repro.planner.plans import OVERRIDE_SEQUENTIAL
+
+
+class TilingPass:
+    name = "tiling"
+
+    def run(self, ctx, plan, report):
+        machine = ctx.machine
+        regions = []
+        for region in plan.regions:
+            if region.backend_override == OVERRIDE_SEQUENTIAL or region.tile:
+                regions.append(region)
+                continue
+            cost = region_cost(ctx, region.headers)
+            # The partitioned space is the members' shared iteration
+            # space — for an interchanged nest, the *inner* space, each
+            # value of which carries the whole outer extent of work.
+            trip = static_trip_count(ctx.loops_by_header[region.headers[0]])
+            if cost is not None and region.outer_header:
+                outer_trip = static_trip_count(
+                    ctx.loops_by_header[region.outer_header]
+                )
+                cost = None if outer_trip is None else cost * outer_trip
+            tile = machine.tile_iterations(cost, trip)
+            if tile is None:
+                regions.append(region)
+                continue
+            report.tiled.append((region.label, tile))
+            regions.append(dataclasses.replace(region, tile=tile))
+        return plan.with_regions(regions)

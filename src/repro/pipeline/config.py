@@ -49,8 +49,10 @@ class SessionConfig:
         opt_level: :class:`~repro.opt.levels.OptLevel` of the pipeline's
             ``optimize`` stage — ``O0`` (plans run as chosen), ``O1``
             (sync elimination + small-region serialization), ``O2``
-            (``O1`` + parallel-region fusion).  Accepts 0/1/2, "O2",
-            or "-O2".
+            (``O1`` + parallel-region fusion), ``O3`` (``O2`` + loop
+            interchange, skew-enabled fusion, machine-model tiling, and
+            oracle-validated speculation).  Accepts 0/1/2/3, "O3", or
+            "-O3".
         compile_regions: run region bodies through the
             :mod:`repro.codegen` exec-compiled path.  ``True``/``False``
             force it; ``None`` (the default) defers to the

@@ -128,10 +128,10 @@ def _build_optimize(session):
 
 
 def _optimize_stats(results):
-    totals = {"fused": 0, "syncs_removed": 0, "serialized": 0}
+    totals = {}
     for result in results.values():
         for key, value in result.report.summary().items():
-            totals[key] += value
+            totals[key] = totals.get(key, 0) + value
     return totals
 
 

@@ -88,5 +88,27 @@ class MachineModel:
         return max(1, int(payload_bytes * self.payload_cost_per_byte
                           * discount))
 
+    def tile_iterations(self, cost, trip):
+        """Minimum iterations one payload should carry, or ``None``.
+
+        A dispatched chunk pays roughly ``threads_region_cost`` of fixed
+        overhead (frame setup, scheduling, and for the process pool a
+        wire round-trip the resident-prelude cache only partly hides).
+        With a static per-entry region cost and trip count we know the
+        per-iteration work, so the smallest chunk whose compute
+        amortizes that overhead is ``overhead / per_iteration_work``.
+        ``None`` means "no constraint": unknown cost, or every chunk of
+        the natural partition is already big enough.
+        """
+        if not cost or not trip:
+            return None
+        per_iteration = cost / trip
+        if per_iteration <= 0:
+            return None
+        tile = -(-self.threads_region_cost // int(max(per_iteration, 1)))
+        if tile < 2:
+            return None
+        return min(tile, trip)
+
 
 DEFAULT_MACHINE = MachineModel()

@@ -147,16 +147,29 @@ class _WorkerInterpreter(Interpreter):
             # prelude dirty deltas like any parent-side store.
             self.enable_write_log(write_log)
 
-    def run_chunk(self, loop, frame, iterations, locks):
-        """Execute ``iterations`` of ``loop``'s body on ``frame``."""
+    def run_chunk(self, loop, frame, iterations, locks, outer=None):
+        """Execute ``iterations`` of ``loop``'s body on ``frame``.
+
+        With ``outer`` (an interchanged nest's outer loop), each value
+        is an ``(outer, inner)`` pair and both induction storages are
+        set before the body runs; the nest's glue blocks never execute
+        here — interchange legality proved them pure iv bookkeeping.
+        """
         canonical = loop.canonical
         function = frame.function
         header = loop.header
         body = function.block(canonical.body)
         induction_storage = frame.objects[canonical.induction]
+        outer_storage = (
+            frame.objects[outer.canonical.induction]
+            if outer is not None else None
+        )
         held = set()
         try:
             for value in iterations:
+                if outer_storage is not None:
+                    outer_storage[0] = value[0]
+                    value = value[1]
                 induction_storage[0] = value
                 block = body
                 position = 0
@@ -259,6 +272,7 @@ class ThreadsBackend(ExecutionBackend):
         active = [w for w in region.workers if w.iterations]
         if not active:
             return
+        outer_loop = interp._region_outer_loop(region.region, region.frame)
 
         compile_on = bool(getattr(interp, "compile_regions", False))
         verify = compile_on and bool(knobs.VERIFY_COMPILED)
@@ -277,7 +291,8 @@ class ThreadsBackend(ExecutionBackend):
                     entries[loop] = None
                 else:
                     entries[loop] = codegen_cache.compiled_chunk(
-                        interp.module, loop, logged=logged
+                        interp.module, loop, logged=logged,
+                        outer=outer_loop,
                     )
             after = codegen_cache.stats()
             region.codegen_compiles += after["compiles"] - before["compiles"]
@@ -307,6 +322,7 @@ class ThreadsBackend(ExecutionBackend):
                     mode = codegen_runtime.execute_chunk(
                         entries.get(loop), shim, loop, worker.frame,
                         iterations, locks, verify=verify,
+                        outer=outer_loop,
                     )
                     if mode == "compiled":
                         compiled += 1
@@ -454,6 +470,7 @@ def _pool_chunk_entry(wire):
             return {"prelude_miss": wire[2]}
         frame = payload["frame"]
         segments = payload["segments"]  # [(loop, iterations), ...]
+        nest = payload.get("nest")  # interchanged outer loop (or None)
         global_storage = payload["global_storage"]
         private_globals = payload["private_globals"]
         private_alloca_uids = payload["private_alloca_uids"]
@@ -489,10 +506,11 @@ def _pool_chunk_entry(wire):
                         entry = codegen_cache.compiled_chunk(
                             payload["module"], loop, logged=True,
                             module_key=payload.get("module_key"),
+                            outer=nest,
                         )
                     mode = codegen_runtime.execute_chunk(
                         entry, shim, loop, frame, iterations,
-                        _NullLocks(), verify=verify,
+                        _NullLocks(), verify=verify, outer=nest,
                     )
                     if mode == "compiled":
                         compiled_chunks += 1
@@ -599,6 +617,7 @@ class ProcessesBackend(ExecutionBackend):
             epoch=_POOL_EPOCH,
             prelude=prelude,
             compile_regions=bool(getattr(interp, "compile_regions", False)),
+            nest=interp._region_outer_loop(region.region, region.frame),
         )
         submitted = []
         for worker, worker_payload in zip(active, encoded.workers):

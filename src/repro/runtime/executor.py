@@ -107,15 +107,36 @@ class RegionParallelization:
             from the dispatch set.)
         removed_sync_uids: annotation uids whose critical/atomic locks
             are elided for this region (sync elimination).
+        outer_header: loop-interchange nest — the serial outer loop's
+            header.  The takeover triggers there, the *inner* space is
+            partitioned once across workers, and every worker runs its
+            slice in outer-major order as ``(outer, inner)`` pairs.
+        member_shifts: skewed fusion — per-member partition shifts; the
+            member's chunks are the base partition shifted by the
+            negated shift (uniform-distance dependences stay worker-
+            local).  Empty means all zero.
+        tile: minimum iterations per payload (tiling); the runtime caps
+            the effective worker count at ``ceil(trip / tile)`` and
+            pads the rest with empty chunks.
+        speculative: pass name when this region was applied on an
+            inconclusive static test.  Only the simulated oracle may
+            execute such a region — the optimizer's validation pass
+            clears the marker (or reverts the transform) before real
+            backends are allowed.
     """
 
     recipes: list
     backend_override: str = None
     removed_sync_uids: frozenset = frozenset()
+    outer_header: str = None
+    member_shifts: tuple = ()
+    tile: int = None
+    speculative: str = None
 
     @property
     def header(self):
-        return self.recipes[0].header
+        """The block whose arrival triggers the takeover."""
+        return self.outer_header or self.recipes[0].header
 
     @property
     def headers(self):
@@ -123,6 +144,8 @@ class RegionParallelization:
 
     @property
     def label(self):
+        if self.outer_header:
+            return f"{self.outer_header}/" + "+".join(self.headers)
         return "+".join(self.headers)
 
     @property
@@ -434,6 +457,32 @@ def parallelization_from_pspdg(pspdg, loop, module, analyses=None):
     return recipe
 
 
+def _shift_assignment(assignment, values, shift):
+    """Skewed fusion: re-aim this member's chunks by ``-shift``.
+
+    A uniform dependence distance ``shift`` means iteration ``i`` of
+    this member conflicts with iteration ``i - shift`` of the partner
+    chunked at the same position, so giving the worker that owns base
+    value ``v`` this member's value ``v - shift`` keeps every such pair
+    worker-local (and in member order, since segments drain in order).
+    Values that shift out of the iteration space leave their base chunk
+    uncovered at the far end; those leftovers run on worker 0 — their
+    conflict partners fell outside the space, so they conflict with
+    no one and any placement is safe.
+    """
+    space = set(values)
+    shifted = []
+    covered = set()
+    for chunk in assignment:
+        moved = [v - shift for v in chunk if (v - shift) in space]
+        covered.update(moved)
+        shifted.append(moved)
+    leftovers = set(space) - covered
+    if leftovers:
+        shifted[0] = sorted(set(shifted[0]) | leftovers)
+    return shifted
+
+
 class _Worker:
     """One worker executing its chunk of every member loop of a region.
 
@@ -460,6 +509,7 @@ class _Worker:
         "seconds",
         "private_globals",
         "private_allocas",
+        "nest",
     )
 
     def __init__(self, index, segments, frame):
@@ -467,6 +517,7 @@ class _Worker:
         self.segments = segments  # [(loop, iteration values), ...]
         self.segment = 0
         self.cursor = 0
+        self.nest = None  # interchanged nest's outer Loop (values are pairs)
         self.frame = frame
         self.block = None
         self.position = 0
@@ -593,12 +644,30 @@ class ParallelInterpreter(Interpreter):
                     f"parallel loop {recipe.header} lacks canonical form"
                 )
             loops.append(loop)
-        if from_block in loops[0].blocks:
+        # An interchanged nest is keyed (and guarded) at the *outer*
+        # header: the whole nest runs in one takeover, and control
+        # resumes at the outer loop's exit.
+        outer = self._region_outer_loop(region, frame)
+        guard = outer if outer is not None else loops[0]
+        if from_block in guard.blocks:
             return None  # back edge: loop already running (shouldn't occur)
         self._execute_parallel_region(loops, region, frame)
         # Control resumes after the *last* member; fusion legality
         # guarantees nothing but induction glue lives in between.
-        return frame.function.block(loops[-1].canonical.exit)
+        resume = (outer or loops[-1]).canonical.exit
+        return frame.function.block(resume)
+
+    def _region_outer_loop(self, region, frame):
+        """The interchanged nest's outer loop, or None for flat regions."""
+        if not region.outer_header:
+            return None
+        outer = self._find_loop(frame.function, region.outer_header)
+        if outer is None or outer.canonical is None:
+            raise PlanError(
+                f"interchange outer loop {region.outer_header} "
+                f"lacks canonical form"
+            )
+        return outer
 
     def _find_loop(self, function, header_name):
         if function.name not in self._loops_by_function:
@@ -718,23 +787,53 @@ class ParallelInterpreter(Interpreter):
     # -- the parallel region ------------------------------------------------------
 
     def _execute_parallel_region(self, loops, region_par, frame):
+        if region_par.speculative and self.backend.name != "simulated":
+            raise PlanError(
+                f"region {region_par.label} is speculative "
+                f"({region_par.speculative}) and was never "
+                f"oracle-validated; only the simulated backend may "
+                f"execute it"
+            )
+        outer_loop = self._region_outer_loop(region_par, frame)
+        outer_values = None
+        if outer_loop is not None:
+            outer_values = self._loop_values(outer_loop, frame)
+
+        shifts = region_par.member_shifts or ()
         members = []  # (loop, recipe, values, per-worker assignment)
-        for loop, recipe in zip(loops, region_par.recipes):
-            canonical = loop.canonical
-            lower = self._value(canonical.lower, frame)
-            upper = self._value(canonical.upper, frame)
-            step = self._value(canonical.step, frame)
-            if step <= 0:
-                raise PlanError("parallel loops require a positive step")
-            values = list(range(lower, upper, step))
+        for position, (loop, recipe) in enumerate(
+            zip(loops, region_par.recipes)
+        ):
+            values = self._loop_values(loop, frame)
             chunk = self.chunk if self.chunk is not None else recipe.chunk
             scheduler = make_scheduler(self.schedule, chunk)
-            members.append(
-                (loop, recipe, values, scheduler.partition(values,
-                                                          self.workers))
-            )
+            # Tiling caps how many workers get non-empty chunks; the
+            # rest are padded empty so worker count stays uniform (the
+            # backends only dispatch payloads for non-empty workers).
+            partitions = self._partition_count(len(values), region_par)
+            assignment = scheduler.partition(values, partitions)
+            assignment = assignment + [
+                [] for _ in range(self.workers - partitions)
+            ]
+            shift = shifts[position] if position < len(shifts) else 0
+            if shift:
+                assignment = _shift_assignment(assignment, values, shift)
+            if outer_values is not None:
+                # Interchanged nest: the *inner* space was partitioned;
+                # each worker sweeps its inner slice once per outer
+                # value, in outer-major order, so same-inner-value
+                # outer-carried flow stays worker-local and in order.
+                values = [(t, i) for t in outer_values for i in values]
+                assignment = [
+                    [(t, i) for t in outer_values for i in chunk_values]
+                    for chunk_values in assignment
+                ]
+            members.append((loop, recipe, values, assignment))
 
         merged = region_par.merged_recipe()
+        frame_loops = (
+            loops if outer_loop is None else [outer_loop] + list(loops)
+        )
         workers = []
         for index in range(self.workers):
             segments = [
@@ -742,7 +841,8 @@ class ParallelInterpreter(Interpreter):
                 for loop, _recipe, _values, assignment in members
             ]
             worker = _Worker(index, segments, None)
-            self._make_worker_frame(worker, frame, merged, loops)
+            worker.nest = outer_loop
+            self._make_worker_frame(worker, frame, merged, frame_loops)
             workers.append(worker)
 
         region = ParallelRegion(
@@ -794,6 +894,22 @@ class ParallelInterpreter(Interpreter):
                 for worker in workers
             ],
         })
+
+    def _loop_values(self, loop, frame):
+        canonical = loop.canonical
+        lower = self._value(canonical.lower, frame)
+        upper = self._value(canonical.upper, frame)
+        step = self._value(canonical.step, frame)
+        if step <= 0:
+            raise PlanError("parallel loops require a positive step")
+        return list(range(lower, upper, step))
+
+    def _partition_count(self, trip, region_par):
+        """Workers that get non-empty chunks (tiling floors chunk size)."""
+        if not region_par.tile:
+            return self.workers
+        needed = -(-trip // region_par.tile) if trip else 1
+        return max(1, min(self.workers, needed))
 
     def _effective_backend(self, region_par):
         """The region's backend: the configured one unless a small-region
@@ -957,6 +1073,12 @@ class ParallelInterpreter(Interpreter):
         value = worker.segment_iterations(worker.segment)[worker.cursor]
         worker.cursor += 1
         worker.last_value = value
+        if worker.nest is not None and isinstance(value, tuple):
+            # Interchanged nest: the value is an (outer, inner) pair;
+            # both inductions were privatized in _make_worker_frame.
+            outer_value, value = value
+            outer_induction = worker.nest.canonical.induction
+            worker.frame.objects[outer_induction][0] = outer_value
         induction = loop.canonical.induction
         worker.frame.objects[induction] = worker.frame.objects.get(
             induction, [0]
@@ -1248,11 +1370,23 @@ def recipes_from_plan(module, pspdg, plan, function):
                 for header in descriptor.headers
             ):
                 continue
+            outer = descriptor.outer_header
+            if outer is not None and (
+                outer not in loops or loops[outer].canonical is None
+            ):
+                # Nest descriptor against a function where the outer
+                # loop is gone/non-canonical: fall back to dispatching
+                # the inner loop per outer iteration (the -O0 shape).
+                outer = None
             regions.append(
                 RegionParallelization(
                     recipes=[recipe_for(h) for h in descriptor.headers],
                     backend_override=descriptor.backend_override,
                     removed_sync_uids=descriptor.removed_sync_uids,
+                    outer_header=outer,
+                    member_shifts=tuple(descriptor.member_shifts or ()),
+                    tile=descriptor.tile,
+                    speculative=descriptor.speculative,
                 )
             )
         return regions

@@ -160,3 +160,12 @@ REPRO_COMPILE = flag(
         "sequential stretches between regions to exec-compiled Python "
         "instead of the interpreter loop.",
 )
+
+REPRO_SPECULATE = flag(
+    "REPRO_SPECULATE", default=True,
+    doc="At -O3, let passes apply transforms whose static legality "
+        "test is inconclusive and validate the candidate plan against "
+        "the simulated oracle (seeded interleavings vs the sequential "
+        "run) before any real backend sees it; off = inconclusive "
+        "tests reject outright.",
+)

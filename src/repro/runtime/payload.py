@@ -750,6 +750,12 @@ def _dirty_cost(singles, runs):
 def _pack_iterations(values):
     """Run-length-compress an iteration list (chunks are arithmetic runs)."""
     n = len(values)
+    if values and isinstance(values[0], tuple):
+        # Interchanged-nest chunks are (outer, inner) pairs — almost
+        # always an exact outer-major cross product, which wires as the
+        # two factor lists instead of trip(outer)*trip(inner) tuples.
+        packed = _pack_pairs(values)
+        return packed if packed is not None else ("v", list(values))
     if n < 8:
         return ("v", list(values))
     runs = []
@@ -772,10 +778,29 @@ def _pack_iterations(values):
     return ("v", list(values))
 
 
+def _pack_pairs(values):
+    """``("x", (outer pack, inner pack))`` for exact cross products."""
+    outer = []
+    for t, _ in values:
+        if not outer or outer[-1] != t:
+            outer.append(t)
+    count, remainder = divmod(len(values), len(outer))
+    if remainder:
+        return None
+    inner = [i for _t, i in values[:count]]
+    if values != [(t, i) for t in outer for i in inner]:
+        return None
+    return ("x", (_pack_iterations(outer), _pack_iterations(inner)))
+
+
 def _unpack_iterations(packed):
     tag, data = packed
     if tag == "v":
         return data
+    if tag == "x":
+        outer = _unpack_iterations(data[0])
+        inner = _unpack_iterations(data[1])
+        return [(t, i) for t in outer for i in inner]
     values = []
     for start, count, step in data:
         values.extend(range(start, start + count * step, step))
@@ -783,7 +808,8 @@ def _unpack_iterations(packed):
 
 
 def encode_region(module, frame, loops, global_storage, max_steps,
-                  workers, epoch, prelude=None, compile_regions=False):
+                  workers, epoch, prelude=None, compile_regions=False,
+                  nest=None):
     """Encode one region's pool payloads.
 
     ``workers`` are the active ``_Worker`` instances; ``frame`` is the
@@ -795,6 +821,9 @@ def encode_region(module, frame, loops, global_storage, max_steps,
     ``compile_regions`` asks the pool worker to run each chunk through
     its exec-compiled body (``repro.codegen``) where one lowers — the
     flag travels in the header, so children need no environment.
+    ``nest`` is an interchanged nest's outer loop: it travels in the
+    header (by loop reference) and the workers' iteration values are
+    ``(outer, inner)`` pairs.
     """
     codec = module_codec(module)
     if prelude is None:
@@ -847,7 +876,7 @@ def encode_region(module, frame, loops, global_storage, max_steps,
 
     loop_map = {
         id(loop): (LOOP_TAG, loop.header.parent.name, loop.header.name)
-        for loop in loops
+        for loop in list(loops) + ([nest] if nest is not None else [])
     }
     # The append pool (every table storage a windowed worker may still
     # lack) must travel *by value*: exclude it from the header's
@@ -864,12 +893,13 @@ def encode_region(module, frame, loops, global_storage, max_steps,
         buffer, codec.persist_map, header_persist, loop_map
     )
     # Positional header (see the matching unpack in decode_payload):
-    # (loops, max_steps, verify_diffs, compile_regions, verify_compiled,
-    # append_base, append pool, dirty singles, dirty runs).  ``append``
-    # is the table suffix from ``append_base`` on — the window's new
-    # storages by value, this region's ``fresh`` last.
+    # (loops, nest, max_steps, verify_diffs, compile_regions,
+    # verify_compiled, append_base, append pool, dirty singles, dirty
+    # runs).  ``append`` is the table suffix from ``append_base`` on —
+    # the window's new storages by value, this region's ``fresh`` last.
     header_pickler.dump((
         loops,
+        nest,
         max_steps,
         bool(VERIFY_DIFFS),
         bool(compile_regions),
@@ -1102,8 +1132,9 @@ def decode_payload(wire):
         resident.table,
         _loop_resolver(module, loop_cache),
     )
-    (loops, max_steps, verify_diffs, compile_regions, verify_compiled,
-     append_base, append, dirty, dirty_runs) = unpickler.load()
+    (loops, nest, max_steps, verify_diffs, compile_regions,
+     verify_compiled, append_base, append, dirty,
+     dirty_runs) = unpickler.load()
     if advance:
         table = resident.table
         # Catch up from wherever in the window this worker is: first
@@ -1137,6 +1168,7 @@ def decode_payload(wire):
         "private_globals": private_globals,
         "private_alloca_uids": private_alloca_uids,
         "loops": loops,
+        "nest": nest,
         "max_steps": max_steps,
         "verify_diffs": verify_diffs,
         "compile_regions": compile_regions,

@@ -205,7 +205,7 @@ class _Shim:
         self.steps = 0
         self.max_steps = 10**9
 
-    def run_chunk(self, loop, frame, iterations, locks):
+    def run_chunk(self, loop, frame, iterations, locks, outer=None):
         self.ran_interpreted += 1
 
 
@@ -254,7 +254,7 @@ class _VerifyShim(_Shim):
         self.storage = storage
         self.expected = expected
 
-    def run_chunk(self, loop, frame, iterations, locks):
+    def run_chunk(self, loop, frame, iterations, locks, outer=None):
         self.ran_interpreted += 1
         log = self.write_log
         key = (id(self.storage), 0)
@@ -356,7 +356,8 @@ def test_verify_both_raise_reraises_interpreted_error():
     storage = [0]
 
     class _Raises(_VerifyShim):
-        def run_chunk(self, loop, frame, iterations, locks):
+        def run_chunk(self, loop, frame, iterations, locks,
+                      outer=None):
             raise EmulationError("interpreted boom")
 
     shim = _Raises(storage, expected=7)

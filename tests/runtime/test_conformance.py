@@ -44,13 +44,16 @@ def kernel_state():
 
 @pytest.fixture(scope="module")
 def optimized_plans(kernel_state):
-    """Per kernel: the PS-PDG plan after the full -O2 pass pipeline."""
+    """Per kernel: the PS-PDG plan after the -O2 and -O3 pass pipelines."""
     plans = {}
     for name, (session, plan, _expected) in kernel_state.items():
-        plans[name] = optimize_plan(
-            session.function, session.module, session.pdg, session.pspdg,
-            plan, OptLevel.O2,
-        ).plan
+        plans[name] = {
+            level: optimize_plan(
+                session.function, session.module, session.pdg,
+                session.pspdg, plan, level, loops=session.loops,
+            ).plan
+            for level in (OptLevel.O2, OptLevel.O3)
+        }
     return plans
 
 
@@ -109,25 +112,27 @@ def test_source_plans_match_sequential(backend, kernel_state):
 @pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("kernel", kernel_names())
 def test_opt_levels_conform(kernel, backend, kernel_state, optimized_plans):
-    """-O0 and -O2 produce identical results on every backend.
+    """-O0, -O2, and -O3 produce identical results on every backend.
 
     The -O2 plan may fuse regions, elide proven-redundant locks, and
-    serialize small regions — none of which may change a single output
-    value (ints bitwise; float reductions compare with isclose, since
-    serializing a reduction changes its association order).
+    serialize small regions; -O3 adds loop interchange, skewed fusion,
+    tiling, and oracle-validated speculation — none of which may change
+    a single output value (ints bitwise; float reductions compare with
+    isclose, since serializing a reduction changes its association
+    order).
     """
     session, plan, expected = kernel_state[kernel]
     for workers in (2, 4):
         for seed in (0, 1):
-            baseline = run_plan(
-                session.module, session.pspdg, plan,
-                workers=workers, seed=seed, backend=backend,
-            )
-            optimized = run_plan(
-                session.module, session.pspdg, optimized_plans[kernel],
-                workers=workers, seed=seed, backend=backend,
-            )
-            for label, result in (("-O0", baseline), ("-O2", optimized)):
+            runs = [("-O0", plan)] + [
+                (level.flag, optimized_plans[kernel][level])
+                for level in (OptLevel.O2, OptLevel.O3)
+            ]
+            for label, the_plan in runs:
+                result = run_plan(
+                    session.module, session.pspdg, the_plan,
+                    workers=workers, seed=seed, backend=backend,
+                )
                 assert outputs_close(result.output, expected), (
                     f"{kernel} {backend} {label} workers={workers} "
                     f"seed={seed}: "
@@ -136,7 +141,7 @@ def test_opt_levels_conform(kernel, backend, kernel_state, optimized_plans):
 
 
 def test_opt_never_dispatches_more_payloads(kernel_state, optimized_plans):
-    """On ``processes``, -O2 must not increase pool payloads anywhere.
+    """On ``processes``, rising -O levels never increase pool payloads.
 
     Counted from the per-worker assignments — the optimizer's dispatch
     structure — because raw ``payloads`` also include miss-retry
@@ -146,8 +151,11 @@ def test_opt_never_dispatches_more_payloads(kernel_state, optimized_plans):
     for kernel in kernel_names():
         session, plan, _expected = kernel_state[kernel]
         counts = {}
-        for label, the_plan in (("O0", plan), ("O2",
-                                               optimized_plans[kernel])):
+        plans = [("O0", plan)] + [
+            (level.flag, optimized_plans[kernel][level])
+            for level in (OptLevel.O2, OptLevel.O3)
+        ]
+        for label, the_plan in plans:
             result = run_plan(
                 session.module, session.pspdg, the_plan,
                 workers=4, backend="processes",
@@ -159,9 +167,13 @@ def test_opt_never_dispatches_more_payloads(kernel_state, optimized_plans):
                 for worker in region["per_worker"]
                 if worker["iterations"]
             )
-        assert counts["O2"] <= counts["O0"], (
-            f"{kernel}: -O2 dispatched {counts['O2']} payloads vs "
+        assert counts["-O2"] <= counts["O0"], (
+            f"{kernel}: -O2 dispatched {counts['-O2']} payloads vs "
             f"{counts['O0']} at -O0"
+        )
+        assert counts["-O3"] <= counts["-O2"], (
+            f"{kernel}: -O3 dispatched {counts['-O3']} payloads vs "
+            f"{counts['-O2']} at -O2"
         )
 
 

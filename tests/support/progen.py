@@ -7,7 +7,10 @@ over hundreds of cases without hand-writing them:
 
 * parse -> print -> parse round-trips are stable,
 * ``Session.plan()`` never crashes,
-* every generated program interprets deterministically.
+* every generated program interprets deterministically,
+* the ``-O3`` transforms (:func:`generate_nest_program` emits perfect
+  serial-outer / workshared-inner nests in interchange-legal,
+  inner-carried, and non-affine flavors) preserve semantics.
 
 All randomness flows from one :class:`random.Random` seeded by the
 caller, so failures reproduce from their case number alone.
@@ -20,15 +23,18 @@ _MAX_SCALARS = 3
 _MAX_LOOPS = 3
 _MAX_BODY_STATEMENTS = 3
 _ARRAY_SIZES = (8, 16)
+_MATRIX_SIZES = (8, 12, 16)
 _TRIP_COUNTS = (4, 6, 8, 12)
 
 
 class _Generator:
-    def __init__(self, rng):
+    def __init__(self, rng, nests=False):
         self.rng = rng
         self.globals = []  # (name, size)
+        self.matrices = []  # (name, size): square 2D globals for nests
         self.scalars = []  # scalar int vars declared before the loops
         self.counter = 0
+        self.nests = nests  # force at least one perfect nest per program
 
     def fresh(self, prefix):
         self.counter += 1
@@ -139,6 +145,69 @@ class _Generator:
         lines.append("  }")
         return lines
 
+    def nest(self):
+        """A perfect serial-outer / workshared-inner nest over a matrix.
+
+        Three seeded shapes, all race-free *within* one inner dispatch
+        (the PS-PDG trusts the declared worksharing) but with different
+        cross-outer behavior, so the ``-O3`` interchange pass sees
+        provably-legal, provably-illegal, and undecidable nests:
+
+        * ``legal`` — each iteration updates its own slot of its own
+          outer row: direction vectors are ``(*, =)``, interchange fires.
+        * ``carried`` — reads the *previous* outer row one column over:
+          the dependence is carried by the inner loop across the nest,
+          interchange must reject (conclusively — subscripts are affine).
+        * ``nonaffine`` — writes through a modular column index: the
+          static test is inconclusive, so ``-O3`` may only speculate and
+          must let the oracle decide (here the slots are disjoint, so
+          validation succeeds).
+        """
+        rng = self.rng
+        name, size = rng.choice(self.matrices)
+        outer_var = self.fresh("t")
+        inner_var = self.fresh("i")
+        shape = rng.choice(("legal", "carried", "nonaffine"))
+        outer_trips = rng.choice([t for t in _TRIP_COUNTS if t <= size])
+        if shape == "nonaffine":
+            # The modular index doubles: keep i*2 injective mod size.
+            inner_trips = rng.choice(
+                [t for t in _TRIP_COUNTS if t <= size // 2]
+            )
+        else:
+            inner_trips = rng.choice([t for t in _TRIP_COUNTS if t <= size])
+        lines = [f"  for {outer_var} in 0..{outer_trips} {{"]
+        lines.append("    pragma omp parallel_for")
+        lines.append(f"    for {inner_var} in 0..{inner_trips} {{")
+        if shape == "legal":
+            lines.append(
+                f"      {name}[{outer_var}][{inner_var}] = "
+                f"{name}[{outer_var}][{inner_var}] + "
+                f"{self.expr(inner_var)};"
+            )
+        elif shape == "carried":
+            lines.append(
+                f"      if ({outer_var} >= 1 && "
+                f"{inner_var} < {inner_trips - 1}) {{"
+            )
+            lines.append(
+                f"        {name}[{outer_var}][{inner_var}] = "
+                f"{name}[{outer_var} - 1][{inner_var} + 1] + 1;"
+            )
+            lines.append("      }")
+        else:
+            temp = self.fresh("k")
+            lines.append(
+                f"      var {temp}: int = ({inner_var} * 2) % {size};"
+            )
+            lines.append(
+                f"      {name}[{outer_var}][{temp}] = "
+                f"{self.expr(inner_var)};"
+            )
+        lines.append("    }")
+        lines.append("  }")
+        return lines
+
     # -- whole programs -------------------------------------------------------
 
     def program(self):
@@ -149,17 +218,33 @@ class _Generator:
             size = rng.choice(_ARRAY_SIZES)
             self.globals.append((name, size))
             lines.append(f"global {name}: int[{size}];")
+        if self.nests or rng.random() < 0.4:
+            name = self.fresh("m")
+            size = rng.choice(_MATRIX_SIZES)
+            self.matrices.append((name, size))
+            lines.append(f"global {name}: int[{size}][{size}];")
         lines.append("func main() {")
         for _ in range(rng.randrange(1, _MAX_SCALARS + 1)):
             name = self.fresh("s")
             self.scalars.append(name)
             lines.append(f"  var {name}: int = {rng.randrange(0, 10)};")
+        emitted_nest = False
         for _ in range(rng.randrange(1, _MAX_LOOPS + 1)):
-            lines.extend(self.loop())
+            if self.matrices and rng.random() < (0.7 if self.nests else 0.3):
+                lines.extend(self.nest())
+                emitted_nest = True
+            else:
+                lines.extend(self.loop())
+        if self.nests and not emitted_nest:
+            lines.extend(self.nest())
         observed = list(self.scalars)
         for name, size in self.globals:
             observed.append(f"{name}[0]")
             observed.append(f"{name}[{size - 1}]")
+        for name, size in self.matrices:
+            observed.append(f"{name}[0][0]")
+            observed.append(f"{name}[1][{size // 2}]")
+            observed.append(f"{name}[{size - 1}][{size - 1}]")
         lines.append(f'  print("observed", {", ".join(observed)});')
         lines.append("}")
         return "\n".join(lines) + "\n"
@@ -168,6 +253,13 @@ class _Generator:
 def generate_program(seed):
     """One deterministic MiniOMP program for ``seed``."""
     return _Generator(random.Random(seed)).program()
+
+
+def generate_nest_program(seed):
+    """Like :func:`generate_program`, but with at least one perfect
+    serial-outer / workshared-inner nest — the ``-O3`` interchange
+    corpus."""
+    return _Generator(random.Random(seed), nests=True).program()
 
 
 def generate_programs(count, base_seed=0):
