@@ -116,6 +116,10 @@ def _cmd_plan(args):
 
 
 def _cmd_run(args):
+    if getattr(args, "faults", None):
+        from repro.runtime import knobs
+
+        knobs.REPRO_FAULTS.value = args.faults
     session = _build_session(args.program, args)
     plan = None if args.plan in ("source", "OpenMP") else args.plan
     result = session.run(plan, workers=args.workers, seed=args.seed,
@@ -150,8 +154,12 @@ def _cmd_knobs(args):
     snap = knobs.snapshot()
     width = max(len(name) for name in snap)
     for name, info in snap.items():
-        state = "on " if info["value"] else "off"
-        default = "on" if info["default"] else "off"
+        if isinstance(info["value"], bool):
+            state = "on " if info["value"] else "off"
+            default = "on" if info["default"] else "off"
+        else:  # typed settings print their actual value
+            state = repr(info["value"])
+            default = repr(info["default"])
         doc = " ".join(info["doc"].split())
         print(f"{name:<{width}}  {state} (default {default})  {doc}")
     return 0
@@ -331,6 +339,13 @@ def build_parser():
         help="run region bodies through the exec-compiled codegen path "
              "(--no-compile forces the interpreter; default: the "
              "REPRO_COMPILE environment knob)",
+    )
+    p_run.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="fault-injection spec for this run (same grammar as the "
+             "REPRO_FAULTS knob, e.g. 'crash:region=0:worker=1'); the "
+             "supervised processes backend retries/fails over and the "
+             "--diagnostics table shows the recovery columns",
     )
     p_run.add_argument(
         "--verify", action="store_true",

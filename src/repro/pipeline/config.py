@@ -57,6 +57,14 @@ class SessionConfig:
             :mod:`repro.codegen` exec-compiled path.  ``True``/``False``
             force it; ``None`` (the default) defers to the
             ``REPRO_COMPILE`` environment knob.
+        retry_budget: per-region retry budget for supervised
+            ``processes`` dispatch (re-dispatches after worker death,
+            hangs, or poisoned payloads).  ``None`` (the default)
+            defers to the ``REPRO_RETRY_BUDGET`` environment knob.
+        failover: enable the graceful-degradation ladder (processes →
+            threads → serial) once retries are exhausted.
+            ``True``/``False`` force it; ``None`` (the default) defers
+            to the ``REPRO_FAILOVER`` environment knob.
     """
 
     name: str = "session"
@@ -74,6 +82,8 @@ class SessionConfig:
     chunk: int | None = None
     opt_level: OptLevel = OptLevel.O0
     compile_regions: bool | None = None
+    retry_budget: int | None = None
+    failover: bool | None = None
 
     def __post_init__(self):
         unknown = set(self.abstractions) - set(ALL_ABSTRACTIONS)

@@ -59,29 +59,41 @@ class Diagnostics:
         avoided shipping).  Under region compilation,
         ``compiled_chunks``/``interpreted_chunks`` count the chunks that
         ran through exec-compiled bodies vs the interpreter fallback.
+        Supervised dispatch adds ``retries`` (re-dispatches after
+        infrastructure failures), ``failovers`` (degradation-ladder rung
+        changes), ``faults_injected`` (REPRO_FAULTS scenarios fired),
+        and ``recovery_ms`` (wall-clock spent respawning/backing off).
         """
         self.parallel_regions.append(dict(region))
 
     def payload_feedback(self):
         """Measured wire feedback for ``optimize_plan``, per region label.
 
-        Returns ``(payload_bytes, prelude_warm, compiled_speedup)``:
-        average bytes-on-wire per dispatch, the resident-prelude hit
-        fraction, and the measured compiled-over-interpreted step-rate
-        ratio, each aggregated over every recorded execution of its
-        region.  Feed these to ``optimize_plan(payload_bytes=...,
-        prelude_warm=..., compiled_speedup=...)`` so the small-region
-        pass prices regions at what their dispatches *actually* cost —
-        cached preludes and real codegen gains included — instead of at
-        the cold-start worst case and the machine model's prior.
+        Returns ``(payload_bytes, prelude_warm, compiled_speedup,
+        recovery)``: average bytes-on-wire per dispatch, the
+        resident-prelude hit fraction, the measured
+        compiled-over-interpreted step-rate ratio, and the supervision
+        ledger, each aggregated over every recorded execution of its
+        region.  Feed the first three to
+        ``optimize_plan(payload_bytes=..., prelude_warm=...,
+        compiled_speedup=...)`` so the small-region pass prices regions
+        at what their dispatches *actually* cost — cached preludes and
+        real codegen gains included — instead of at the cold-start
+        worst case and the machine model's prior.
 
         ``compiled_speedup`` only covers regions observed in *both*
         modes (pure compiled and pure interpreted executions); mixed
         executions are skipped because their rate is not attributable
         to either engine.
+
+        ``recovery`` maps each label that ever needed supervision to
+        ``{"retries", "failovers", "faults_injected", "recovery_ms"}``
+        totals — labels with an all-zero ledger are omitted, so an
+        empty dict means every dispatch was clean.
         """
         totals = {}
         rates = {}
+        recovery = {}
         for region in self.parallel_regions:
             label = region["header"]
             payloads = region.get("payloads", 0)
@@ -92,6 +104,19 @@ class Diagnostics:
                 entry["bytes"] += region.get("payload_bytes", 0)
                 entry["payloads"] += payloads
                 entry["hits"] += region.get("prelude_hits", 0)
+            ledger = {
+                "retries": region.get("retries", 0),
+                "failovers": region.get("failovers", 0),
+                "faults_injected": region.get("faults_injected", 0),
+                "recovery_ms": region.get("recovery_ms", 0.0),
+            }
+            if any(ledger.values()):
+                entry = recovery.setdefault(label, {
+                    "retries": 0, "failovers": 0,
+                    "faults_injected": 0, "recovery_ms": 0.0,
+                })
+                for key, value in ledger.items():
+                    entry[key] += value
             compiled = region.get("compiled_chunks", 0)
             interpreted = region.get("interpreted_chunks", 0)
             if bool(compiled) == bool(interpreted):  # mixed or empty
@@ -126,7 +151,7 @@ class Diagnostics:
                     (compiled_steps / compiled_seconds)
                     / (interp_steps / interp_seconds)
                 )
-        return payload_bytes, prelude_warm, compiled_speedup
+        return payload_bytes, prelude_warm, compiled_speedup, recovery
 
     def runs(self, stage):
         """How many times ``stage`` actually executed (0 if never)."""
@@ -172,17 +197,21 @@ class Diagnostics:
         The ``phit``/``pmiss``/``saved`` columns are the resident-
         prelude protocol: payloads served from resident worker state,
         full-state miss retries, and the estimated bytes the hits kept
-        off the wire.
+        off the wire.  ``rtry``/``fo``/``flt``/``rec-ms`` are the
+        supervision ledger: region re-dispatches after infrastructure
+        failures, degradation-ladder failovers, injected faults, and
+        milliseconds spent in recovery (pool respawn + backoff).
         """
         if not self.parallel_regions:
             return "no parallel regions executed"
         lines = [
             f"{'loop':16} {'backend':26} {'sched':8} {'W':>2} "
             f"{'iters':>6} {'bytes':>8} {'phit':>4} {'pmiss':>5} "
-            f"{'saved':>8} {'cc':>4} {'ic':>4} {'seconds':>9}  "
+            f"{'saved':>8} {'cc':>4} {'ic':>4} {'rtry':>4} {'fo':>3} "
+            f"{'flt':>4} {'rec-ms':>7} {'seconds':>9}  "
             f"per-worker steps"
         ]
-        lines.append("-" * 127)
+        lines.append("-" * len(lines[0]))
         for region in self.parallel_regions:
             steps = "/".join(
                 str(worker["steps"]) for worker in region["per_worker"]
@@ -197,6 +226,10 @@ class Diagnostics:
                 f"{region.get('prelude_bytes_saved', 0):>8} "
                 f"{region.get('compiled_chunks', 0):>4} "
                 f"{region.get('interpreted_chunks', 0):>4} "
+                f"{region.get('retries', 0):>4} "
+                f"{region.get('failovers', 0):>3} "
+                f"{region.get('faults_injected', 0):>4} "
+                f"{region.get('recovery_ms', 0.0):>7.1f} "
                 f"{region['seconds']:>9.4f}  "
                 f"{steps}"
             )

@@ -53,8 +53,8 @@ from repro.codegen import cache as codegen_cache
 from repro.codegen import runtime as codegen_runtime
 from repro.emulator.interp import Interpreter, record_write
 from repro.ir.instructions import Terminator
-from repro.runtime import knobs
-from repro.util.errors import EmulationError, PlanError
+from repro.runtime import faults, knobs
+from repro.util.errors import EmulationError, PlanError, RegionDispatchError
 
 #: Seconds a worker may wait on one critical-section lock before the
 #: threads backend declares the region deadlocked.
@@ -103,6 +103,10 @@ class ParallelRegion:
     codegen_compiles: int = 0  # fresh lowerings this region caused
     codegen_source_hits: int = 0  # entries rebuilt from cached source
     codegen_fallbacks: int = 0  # lowering refusals/failures
+    retries: int = 0  # supervised re-dispatches after infra failures
+    failovers: int = 0  # degradation-ladder rung changes this region took
+    faults_injected: int = 0  # REPRO_FAULTS scenarios fired on this region
+    recovery_ms: float = 0.0  # wall-clock spent respawning/backing off
 
 
 class ExecutionBackend:
@@ -331,19 +335,40 @@ class ThreadsBackend(ExecutionBackend):
             worker.seconds = time.perf_counter() - start
             return shim, compiled, interpreted
 
+        # Worker-order collection keeps output/step totals deterministic.
+        for worker, (shim, compiled, interpreted) in (
+            self._run_jobs(active, job)
+        ):
+            worker.steps = shim.steps
+            interp.steps += shim.steps
+            interp.output.extend(shim.output)
+            region.compiled_chunks += compiled
+            region.interpreted_chunks += interpreted
+
+    def _run_jobs(self, active, job):
+        """Run ``job`` per worker concurrently; results in worker order."""
         with concurrent.futures.ThreadPoolExecutor(
             max_workers=len(active), thread_name_prefix="repro-worker"
         ) as pool:
             futures = [(worker, pool.submit(job, worker))
                        for worker in active]
-            # Worker-order collection keeps output/step totals deterministic.
-            for worker, future in futures:
-                shim, compiled, interpreted = future.result()
-                worker.steps = shim.steps
-                interp.steps += shim.steps
-                interp.output.extend(shim.output)
-                region.compiled_chunks += compiled
-                region.interpreted_chunks += interpreted
+            return [(worker, future.result()) for worker, future in futures]
+
+
+class SerialBackend(ThreadsBackend):
+    """Threads-backend semantics, one worker at a time.
+
+    The graceful-degradation ladder's last rung: identical partitioning,
+    privatization, and worker-order merges, but each worker's chunk runs
+    to completion on the dispatching thread before the next starts — no
+    concurrency left to fail.  Not registered in :data:`BACKENDS`; only
+    the ladder (and tests) reach it.
+    """
+
+    name = "serial"
+
+    def _run_jobs(self, active, job):
+        return [(worker, job(worker)) for worker in active]
 
 
 def _fork_preferred_context():
@@ -432,11 +457,19 @@ def _chunk_pool(requested=None):
 
 
 def _reset_chunk_pool(kill=False):
-    global _POOL, _POOL_SIZE, _POOL_REGIONS
+    global _POOL, _POOL_SIZE, _POOL_REGIONS, _POOL_EPOCH
     with _POOL_LOCK:
         pool, _POOL = _POOL, None
         _POOL_SIZE = None
         _POOL_REGIONS = 0
+        # The workers — and with them every decoded-module cache and
+        # resident prelude image — are gone the moment we return, even
+        # on the non-kill path.  Bump the broadcast epoch and drop the
+        # parent-side primed-worker bookkeeping *here*, not in the next
+        # _chunk_pool call: a dispatch racing the reset must never
+        # trust resident state the dead workers held.
+        _POOL_EPOCH += 1
+        payload_codec.invalidate_pool_caches()
     if pool is None:
         return
     if kill:
@@ -451,7 +484,7 @@ def _reset_chunk_pool(kill=False):
     pool.shutdown(wait=False, cancel_futures=True)
 
 
-def _pool_chunk_entry(wire):
+def _pool_chunk_entry(wire, fault=None):
     """Pool-worker entry point: run one worker's chunk, return its report.
 
     ``wire`` is a :meth:`~repro.runtime.payload.WorkerPayload.wire`
@@ -460,14 +493,37 @@ def _pool_chunk_entry(wire):
     the module bytes of this pool epoch reports ``{"module_miss": key}``
     and one without the payload's resident prelude state reports
     ``{"prelude_miss": stream_id}``, so the parent can retry with the
-    missing stream attached.
+    missing stream attached.  Decode failures are tagged
+    ``"phase": "decode"`` — they indict the wire/cache machinery, not
+    the program, so the supervisor retries them; execution failures stay
+    untagged and fatal.
+
+    ``fault`` is an injected-fault directive from
+    :mod:`repro.runtime.faults` (chaos testing only): executed before
+    anything else, exactly as a real mid-flight worker death or stall
+    would land.
     """
+    if fault is not None:
+        faults.perform(fault)
     try:
         payload, miss = payload_codec.decode_payload(wire)
         if miss == "module":
             return {"module_miss": wire[0]}
         if miss == "prelude":
             return {"prelude_miss": wire[2]}
+    except payload_codec.PreludeVerificationError as exc:
+        # A VERIFY_PRELUDE divergence is a caught bug, not a wire
+        # failure: retrying would re-ship the mutated state and bless
+        # exactly what the oracle flagged, so it stays fatal (untagged).
+        payload_codec.discard_resident(wire[2])
+        return {"error": f"{type(exc).__name__}: {exc}"}
+    except BaseException as exc:
+        # The resident state may be torn by the failed decode: dropping
+        # it forces a clean full-state retry on the next payload of
+        # this stream instead of silent divergence.
+        payload_codec.discard_resident(wire[2])
+        return {"error": f"{type(exc).__name__}: {exc}", "phase": "decode"}
+    try:
         frame = payload["frame"]
         segments = payload["segments"]  # [(loop, iterations), ...]
         nest = payload.get("nest")  # interchanged outer loop (or None)
@@ -571,15 +627,37 @@ def _pool_chunk_entry(wire):
             # hash chain says this worker holds.
             payload_codec.rollback_writes(log)
     except BaseException as exc:  # report, never poison the pool
-        # The resident state may be torn (a failed decode or rollback):
-        # dropping it forces a clean full-state retry on the next
-        # payload of this stream instead of silent divergence.
+        # A torn rollback would leave the resident state diverged from
+        # the parent's hash chain; drop it so the stream's next payload
+        # retries with the full state attached.
         payload_codec.discard_resident(wire[2])
         return {"error": f"{type(exc).__name__}: {exc}"}
 
 
+class _InfraFailure(Exception):
+    """Internal: dispatch infrastructure failed; the region is retryable.
+
+    Raised by :meth:`ProcessesBackend._dispatch_once` for worker death,
+    hangs, undeliverable results, and payload-decode failures — all
+    cases where the deferred-apply invariant guarantees the parent state
+    is still the pre-dispatch image.  Program errors raise plain
+    :class:`EmulationError` instead and are never retried.
+    """
+
+
 class ProcessesBackend(ExecutionBackend):
-    """One OS process per worker; serialized frames; diff-merged state."""
+    """One OS process per worker; serialized frames; diff-merged state.
+
+    Dispatch is *supervised* (unless ``REPRO_SUPERVISE`` is off):
+    infrastructure failures — worker death, hangs, poisoned payloads —
+    kill and respawn the pool, invalidate the resident prelude and
+    module-broadcast epoch, and re-dispatch the whole region with the
+    full state attached, up to a per-region retry budget with bounded
+    exponential backoff.  The deferred-apply collection makes this
+    exactly-once: no shared-memory effect lands until every worker of
+    the region reported, so a failed attempt leaves the parent state
+    byte-identical to the pre-dispatch image.
+    """
 
     name = "processes"
 
@@ -602,6 +680,60 @@ class ProcessesBackend(ExecutionBackend):
         active = [w for w in region.workers if w.iterations]
         if not active:
             return
+        if not knobs.REPRO_SUPERVISE:
+            try:
+                completed = self._dispatch_once(interp, region, active, None)
+            except _InfraFailure as exc:
+                raise EmulationError(str(exc)) from None
+        else:
+            budget = getattr(interp, "retry_budget", None)
+            if budget is None:
+                budget = int(knobs.REPRO_RETRY_BUDGET.value)
+            backoff = float(knobs.REPRO_RETRY_BACKOFF.value)
+            plan = faults.active_plan()
+            attempt = 0
+            while True:
+                try:
+                    completed = self._dispatch_once(
+                        interp, region, active, plan
+                    )
+                    break
+                except _InfraFailure as exc:
+                    attempt += 1
+                    if attempt > budget:
+                        raise RegionDispatchError(
+                            f"region dispatch failed after {attempt} "
+                            f"attempts ({budget} retries): {exc}"
+                        ) from exc
+                    region.retries += 1
+                    started = time.perf_counter()
+                    # Kill the pool (a stuck or half-dead worker must
+                    # not survive into the retry), which also bumps the
+                    # broadcast epoch and drops the primed-worker
+                    # bookkeeping; resetting the prelude codec makes
+                    # the re-encode ship the full state, trusting no
+                    # resident image.
+                    _reset_chunk_pool(kill=True)
+                    interp.invalidate_prelude()
+                    time.sleep(backoff * (2 ** (attempt - 1)))
+                    region.recovery_ms += (
+                        time.perf_counter() - started
+                    ) * 1000.0
+        shared_allocas = {
+            inst.uid: storage
+            for inst, storage in region.frame.objects.items()
+        }
+        for worker, result in completed:  # worker order: deterministic
+            self._apply(interp, region, worker, result, shared_allocas)
+
+    def _dispatch_once(self, interp, region, active, plan):
+        """Encode, submit, and collect one dispatch attempt of a region.
+
+        Returns the ``(worker, result)`` list in worker order without
+        applying anything.  Raises :class:`_InfraFailure` for retryable
+        infrastructure failures, :class:`EmulationError` for program
+        errors.  ``plan`` is the active fault-injection plan (or None).
+        """
         pool = _chunk_pool(interp.pool_size)
         prelude = getattr(interp, "_prelude_codec", None)
         if prelude is None:
@@ -619,26 +751,61 @@ class ProcessesBackend(ExecutionBackend):
             compile_regions=bool(getattr(interp, "compile_regions", False)),
             nest=interp._region_outer_loop(region.region, region.frame),
         )
+        ordinal = faults.next_region_ordinal() if plan else None
         submitted = []
-        for worker, worker_payload in zip(active, encoded.workers):
-            submitted.append((
-                worker,
-                pool.submit(_pool_chunk_entry, worker_payload.wire()),
-                worker_payload,
-            ))
-        region.payloads = len(submitted)
-        region.payload_bytes = encoded.wire_bytes
-        region.naive_payload_bytes = encoded.naive_bytes
+        dropped = set()  # worker list indices whose results are discarded
+        try:
+            for index, (worker, worker_payload) in enumerate(
+                zip(active, encoded.workers)
+            ):
+                directive = None
+                wire = worker_payload.wire()
+                if plan:
+                    scenario = plan.draw(ordinal, index)
+                    if scenario is not None:
+                        region.faults_injected += 1
+                        if scenario.kind in ("crash", "hang"):
+                            directive = scenario.directive()
+                        elif scenario.kind == "corrupt_wire":
+                            wire = worker_payload.corrupted(
+                                scenario.seed
+                            ).wire()
+                        elif scenario.kind == "drop_result":
+                            dropped.add(index)
+                submitted.append((
+                    worker,
+                    pool.submit(_pool_chunk_entry, wire, directive),
+                    worker_payload,
+                ))
+        except concurrent.futures.process.BrokenProcessPool as exc:
+            # A worker died (possibly during an earlier region) and the
+            # pool refuses new work; nothing from this attempt was
+            # collected, so the region is cleanly retryable.
+            for _worker, pending, _payload in submitted:
+                pending.cancel()
+            _reset_chunk_pool()
+            raise _InfraFailure(
+                f"chunk pool broken at submit: {exc}"
+            ) from None
+        region.payloads += len(submitted)
+        region.payload_bytes += encoded.wire_bytes
+        region.naive_payload_bytes += encoded.naive_bytes
 
         # Collect every result before applying any of them: retries of
         # module/prelude misses ship the *pre-dispatch* state, so no
         # worker's shared-memory effects may land until the whole
         # region is in.
-        failure = None
+        failure = None  # program error: fatal, never retried
+        infra = None  # infrastructure failure message: retryable
         completed = []  # (worker, result) in worker order
-        allowance = _region_allowance(interp.max_steps)
+        retries = []  # miss-retry futures, cancellable alongside submitted
+        configured = float(knobs.REPRO_REGION_TIMEOUT.value or 0.0)
+        allowance = (
+            configured if configured > 0
+            else _region_allowance(interp.max_steps)
+        )
         deadline = time.monotonic() + allowance  # for the whole region
-        for worker, future, worker_payload in submitted:  # worker order
+        for index, (worker, future, worker_payload) in enumerate(submitted):
             try:
                 result = future.result(
                     timeout=max(0.0, deadline - time.monotonic())
@@ -646,7 +813,7 @@ class ProcessesBackend(ExecutionBackend):
                 missed = result.get("module_miss") or result.get(
                     "prelude_miss"
                 )
-                if failure is None and missed:
+                if failure is None and infra is None and missed:
                     # This pool worker joined after the epoch's module
                     # broadcast (or lacks this stream's resident
                     # state): retry its payload (only) with the bytes
@@ -666,9 +833,14 @@ class ProcessesBackend(ExecutionBackend):
                     region.payloads += 1
                     region.payload_bytes += refreshed.wire_bytes
                     region.retry_payload_bytes += refreshed.wire_bytes
-                    result = pool.submit(
-                        _pool_chunk_entry, refreshed.wire()
-                    ).result(timeout=max(0.0, deadline - time.monotonic()))
+                    retry = pool.submit(_pool_chunk_entry, refreshed.wire())
+                    # Track the retry so the timeout drain below can
+                    # cancel it too — an untracked stuck retry would
+                    # occupy a slot of the shared pool forever.
+                    retries.append(retry)
+                    result = retry.result(
+                        timeout=max(0.0, deadline - time.monotonic())
+                    )
                 elif (
                     failure is None
                     and worker_payload.state_bytes is None
@@ -678,7 +850,7 @@ class ProcessesBackend(ExecutionBackend):
                     region.prelude_bytes_saved += encoded.prelude.full_len
             except concurrent.futures.process.BrokenProcessPool as exc:
                 _reset_chunk_pool()
-                failure = failure or EmulationError(
+                infra = infra or (
                     f"worker process {worker.index} died: {exc}"
                 )
                 continue
@@ -687,8 +859,10 @@ class ProcessesBackend(ExecutionBackend):
                 # it occupying a slot of the shared pool forever.
                 for _w, pending, _p in submitted:
                     pending.cancel()
+                for pending in retries:
+                    pending.cancel()
                 _reset_chunk_pool(kill=True)
-                failure = failure or EmulationError(
+                infra = infra or (
                     f"worker process {worker.index} timed out after "
                     f"{allowance:.0f}s"
                 )
@@ -696,34 +870,45 @@ class ProcessesBackend(ExecutionBackend):
             except concurrent.futures.CancelledError:
                 # Cancelled while draining after a timeout above; the
                 # recorded failure is the one to surface.
-                failure = failure or EmulationError(
+                infra = infra or (
                     f"worker process {worker.index} was cancelled"
                 )
                 continue
-            if failure is not None:
+            if failure is not None or infra is not None:
                 continue
             if result.get("module_miss") or result.get("prelude_miss"):
-                failure = EmulationError(
+                infra = (
                     f"worker process {worker.index} still missing "
                     f"{'module' if result.get('module_miss') else 'prelude'}"
                     " state after a retry with it attached"
                 )
                 continue
             if "error" in result:
-                failure = EmulationError(
-                    f"worker process {worker.index} failed: "
-                    f"{result['error']}"
+                if result.get("phase") == "decode":
+                    # The wire or the resident caches are at fault, not
+                    # the program: a clean re-encode may succeed.
+                    infra = (
+                        f"worker process {worker.index} failed to decode "
+                        f"its payload: {result['error']}"
+                    )
+                else:
+                    failure = EmulationError(
+                        f"worker process {worker.index} failed: "
+                        f"{result['error']}"
+                    )
+                continue
+            if index in dropped:
+                infra = (
+                    f"worker process {worker.index} result dropped "
+                    "(injected fault)"
                 )
                 continue
             completed.append((worker, result))
         if failure is not None:
             raise failure
-        shared_allocas = {
-            inst.uid: storage
-            for inst, storage in region.frame.objects.items()
-        }
-        for worker, result in completed:  # worker order: deterministic
-            self._apply(interp, region, worker, result, shared_allocas)
+        if infra is not None:
+            raise _InfraFailure(infra)
+        return completed
 
     def _apply(self, interp, region, worker, result, shared_allocas):
         worker.steps = result["steps"]

@@ -50,9 +50,14 @@ from repro.ir.instructions import Call, Terminator
 from repro.ir.types import FLOAT
 from repro.ir.values import Argument, GlobalVariable
 from repro.runtime import knobs
-from repro.runtime.backends import ParallelRegion, get_backend
+from repro.runtime.backends import (
+    ParallelRegion,
+    SerialBackend,
+    ThreadsBackend,
+    get_backend,
+)
 from repro.runtime.schedulers import make_scheduler
-from repro.util.errors import EmulationError, PlanError
+from repro.util.errors import EmulationError, PlanError, RegionDispatchError
 
 _IDENTITY = {
     "add": 0,
@@ -552,7 +557,8 @@ class ParallelInterpreter(Interpreter):
     def __init__(self, module, parallelizations, workers=4, seed=0,
                  max_steps=50_000_000, backend="simulated",
                  schedule="static", chunk=None, pool_size=None,
-                 prelude=None, compile_regions=None):
+                 prelude=None, compile_regions=None, quarantine=None,
+                 retry_budget=None, failover=None):
         super().__init__(module, max_steps)
         if (
             not isinstance(workers, int)
@@ -574,6 +580,12 @@ class ParallelInterpreter(Interpreter):
             bool(knobs.REPRO_COMPILE) if compile_regions is None
             else bool(compile_regions)
         )
+        # Supervised-dispatch policy: a Session-scoped quarantine (the
+        # degradation ladder's denylist), a per-region retry budget, and
+        # the failover switch.  None defers to the REPRO_* knobs.
+        self.quarantine = quarantine
+        self.retry_budget = retry_budget
+        self.failover = failover
         if self.backend.name == "processes":
             # Track every shared-state write between region dispatches:
             # the payload codec ships dirty-slot deltas against the pool
@@ -853,7 +865,9 @@ class ParallelInterpreter(Interpreter):
         )
         backend = self._effective_backend(region_par)
         started = time.perf_counter()
-        backend.run_region(self, region)
+        self._dispatch_region(
+            backend, region, region_par, frame, merged, frame_loops
+        )
         elapsed = time.perf_counter() - started
         if backend is not self.backend:
             region.backend_used = (
@@ -883,6 +897,10 @@ class ParallelInterpreter(Interpreter):
             "codegen_compiles": region.codegen_compiles,
             "codegen_source_hits": region.codegen_source_hits,
             "codegen_fallbacks": region.codegen_fallbacks,
+            "retries": region.retries,
+            "failovers": region.failovers,
+            "faults_injected": region.faults_injected,
+            "recovery_ms": region.recovery_ms,
             "seconds": elapsed,
             "per_worker": [
                 {
@@ -894,6 +912,118 @@ class ParallelInterpreter(Interpreter):
                 for worker in workers
             ],
         })
+
+    # -- the graceful-degradation ladder ---------------------------------------
+
+    def _dispatch_region(self, backend, region, region_par, frame,
+                         merged, frame_loops):
+        """Run the region on ``backend``, descending the ladder on failure.
+
+        Only supervised ``processes`` dispatches get the ladder: a
+        region whose retry budget is exhausted
+        (:class:`RegionDispatchError`) fails over to the threads
+        backend, then to serial interpretation — each rung re-running
+        the *whole* region against the intact pre-dispatch state (lower
+        rungs mutate parent storage live, so they snapshot/restore
+        around a failed attempt).  The Session quarantine remembers the
+        rung that worked, keyed by program content hash + region label,
+        so warm re-runs skip the doomed path.  Plain
+        :class:`EmulationError` from the processes rung is a *program*
+        error and propagates untouched.
+        """
+        failover = (
+            self.failover if self.failover is not None
+            else bool(knobs.REPRO_FAILOVER)
+        )
+        if (
+            backend.name != "processes"
+            or not failover
+            or not knobs.REPRO_SUPERVISE
+        ):
+            backend.run_region(self, region)
+            return
+        key = (self._content_key(), region_par.label)
+        rung = (
+            self.quarantine.rung_for(key)
+            if self.quarantine is not None else None
+        )
+        suffix = "quarantine" if rung is not None else "failover"
+        chain = []
+        if rung is None:
+            try:
+                backend.run_region(self, region)
+                return
+            except RegionDispatchError as exc:
+                chain.append(str(exc))
+                region.failovers += 1
+                rung = "threads"
+        if rung == "threads":
+            snapshot = self._region_snapshot(region)
+            try:
+                ThreadsBackend().run_region(self, region)
+                region.backend_used = f"processes->threads({suffix})"
+                if self.quarantine is not None:
+                    self.quarantine.demote(key, "threads")
+                return
+            except EmulationError as exc:
+                chain.append(str(exc))
+                region.failovers += 1
+                self._restore_region(
+                    snapshot, region, frame, merged, frame_loops
+                )
+        snapshot = self._region_snapshot(region)
+        try:
+            SerialBackend().run_region(self, region)
+            region.backend_used = f"processes->serial({suffix})"
+            if self.quarantine is not None:
+                self.quarantine.demote(key, "serial")
+        except EmulationError as exc:
+            self._restore_region(snapshot, region, frame, merged, frame_loops)
+            chain.append(str(exc))
+            raise EmulationError(
+                f"region {region_par.label} failed on every rung of the "
+                "degradation ladder: " + " | ".join(chain)
+            ) from exc
+
+    def _region_snapshot(self, region):
+        """Capture everything a lower ladder rung may tear on failure.
+
+        The threads/serial rungs execute through shims that share the
+        parent's storage, so a mid-region failure leaves partial writes
+        behind; this captures every shared storage list (the same walk
+        the payload codec uses to enumerate them) plus the region's
+        chunk counters.  ``interp.output``/``steps`` need no capture:
+        both backends collect results only after every worker finished.
+        """
+        from repro.runtime.payload import _walk_storages
+
+        storages = _walk_storages(region.frame, self._global_storage)
+        return (
+            [(storage, list(storage)) for storage in storages],
+            region.compiled_chunks,
+            region.interpreted_chunks,
+        )
+
+    def _restore_region(self, snapshot, region, frame, merged, frame_loops):
+        """Roll shared state back to ``snapshot`` and rebuild the workers.
+
+        The write log keeps its marks for the restored slots — shipping
+        an unchanged slot in the next dirty delta is wasteful but
+        correct, while unmarking a restored slot could hide a genuine
+        pre-region write.  Worker frames are rebuilt from scratch:
+        their private reduction/lastprivate copies were mutated by the
+        failed rung.
+        """
+        storages, compiled, interpreted = snapshot
+        for storage, values in storages:
+            if self.write_log is not None:
+                for slot in range(len(values)):
+                    record_write(self.write_log, storage, slot)
+            storage[:] = values
+        region.compiled_chunks = compiled
+        region.interpreted_chunks = interpreted
+        for worker in region.workers:
+            self._make_worker_frame(worker, frame, merged, frame_loops)
 
     def _loop_values(self, loop, frame):
         canonical = loop.canonical
@@ -1281,6 +1411,9 @@ def run_parallel(
     pool_size=None,
     prelude=None,
     compile_regions=None,
+    quarantine=None,
+    retry_budget=None,
+    failover=None,
 ):
     """Execute ``function_name`` with the given loop parallelizations.
 
@@ -1288,7 +1421,11 @@ def run_parallel(
     one region) and :class:`RegionParallelization` (fused) entries.
     ``prelude`` optionally carries a caller-owned
     :class:`~repro.runtime.payload.PreludeCodec` so the ``processes``
-    backend's resident-state stream survives across runs.
+    backend's resident-state stream survives across runs; ``quarantine``
+    a caller-owned :class:`~repro.runtime.faults.Quarantine` so the
+    degradation ladder's denylist does too.  ``retry_budget`` and
+    ``failover`` override the ``REPRO_RETRY_BUDGET`` /
+    ``REPRO_FAILOVER`` knobs when not None.
     """
     interpreter = ParallelInterpreter(
         module,
@@ -1301,6 +1438,9 @@ def run_parallel(
         pool_size=pool_size,
         prelude=prelude,
         compile_regions=compile_regions,
+        quarantine=quarantine,
+        retry_budget=retry_budget,
+        failover=failover,
     )
     return interpreter.run(function_name)
 
@@ -1400,7 +1540,8 @@ def recipes_from_plan(module, pspdg, plan, function):
 def run_plan(module, pspdg, plan, function_name="main", workers=4, seed=0,
              backend="simulated", schedule="static", chunk=None,
              opt_level=None, machine=None, pool_size=None, prelude=None,
-             compile_regions=None):
+             compile_regions=None, quarantine=None, retry_budget=None,
+             failover=None):
     """Execute a :class:`ProgramPlan` chosen from the PS-PDG.
 
     This is the runtime entry point :meth:`repro.Session.run` uses: the
@@ -1425,12 +1566,14 @@ def run_plan(module, pspdg, plan, function_name="main", workers=4, seed=0,
     regions = recipes_from_plan(module, pspdg, plan, function)
     return run_parallel(module, regions, function_name, workers, seed,
                         backend, schedule, chunk, pool_size, prelude,
-                        compile_regions)
+                        compile_regions, quarantine=quarantine,
+                        retry_budget=retry_budget, failover=failover)
 
 
 def run_source_plan(module, function_name="main", workers=4, seed=0,
                     backend="simulated", schedule="static", chunk=None,
-                    pool_size=None, prelude=None, compile_regions=None):
+                    pool_size=None, prelude=None, compile_regions=None,
+                    quarantine=None, retry_budget=None, failover=None):
     """Execute the developer's OpenMP plan (all worksharing annotations)."""
     function = module.function(function_name)
     recipes = []
@@ -1444,4 +1587,5 @@ def run_source_plan(module, function_name="main", workers=4, seed=0,
             )
     return run_parallel(module, recipes, function_name, workers, seed,
                         backend, schedule, chunk, pool_size, prelude,
-                        compile_regions)
+                        compile_regions, quarantine=quarantine,
+                        retry_budget=retry_budget, failover=failover)

@@ -51,6 +51,35 @@ class Knob:
         return f"Knob({self.name}={bool(self.value)})"
 
 
+class Setting(Knob):
+    """A typed (non-boolean) environment knob: str, int, or float.
+
+    Same lifecycle as :class:`Knob` — cached at registration, re-read by
+    :func:`refresh`, assignable for process-local overrides — but the
+    raw environment string is parsed with ``parse`` (the type of the
+    default) instead of the boolean falsy-set.  Unparseable values fall
+    back to the default rather than raising at import time.
+    """
+
+    __slots__ = ("parse",)
+
+    def __init__(self, name, default, doc=""):
+        self.parse = type(default)
+        super().__init__(name, default, doc=doc)
+
+    def _read(self):
+        raw = os.environ.get(self.name)
+        if raw is None:
+            return self.default
+        try:
+            return self.parse(raw.strip())
+        except ValueError:
+            return self.default
+
+    def __repr__(self):
+        return f"Setting({self.name}={self.value!r})"
+
+
 _KNOBS = {}
 
 
@@ -76,6 +105,27 @@ def flag(name, default=False, doc=""):
     return knob
 
 
+def setting(name, default, doc=""):
+    """Register (or fetch) a typed :class:`Setting` for ``name``.
+
+    Same get-or-create/conflict rules as :func:`flag`, but the knob's
+    value is parsed with ``type(default)`` (str/int/float) instead of
+    boolean truthiness.
+    """
+    knob = _KNOBS.get(name)
+    if knob is None:
+        knob = _KNOBS[name] = Setting(name, default, doc=doc)
+    elif not isinstance(knob, Setting) or knob.default != default:
+        raise ValueError(
+            f"knob {name} already registered with default="
+            f"{knob.default!r}; conflicting re-registration with "
+            f"default={default!r}"
+        )
+    elif doc and not knob.doc:
+        knob.doc = doc
+    return knob
+
+
 def refresh():
     """Re-read every registered knob from the environment."""
     for knob in _KNOBS.values():
@@ -83,8 +133,15 @@ def refresh():
 
 
 def as_dict():
-    """Current knob values by name (diagnostics / tests)."""
-    return {name: bool(knob) for name, knob in sorted(_KNOBS.items())}
+    """Current knob values by name (diagnostics / tests).
+
+    Boolean knobs report ``bool``; typed :class:`Setting` knobs report
+    their parsed value.
+    """
+    return {
+        name: knob.value if isinstance(knob, Setting) else bool(knob)
+        for name, knob in sorted(_KNOBS.items())
+    }
 
 
 def snapshot():
@@ -94,10 +151,15 @@ def snapshot():
     the table to it), so README switches can never drift from the
     registry.
     """
+    def render(knob, value):
+        if isinstance(knob, Setting):
+            return value
+        return bool(value)
+
     return {
         name: {
-            "default": bool(knob.default),
-            "value": bool(knob),
+            "default": render(knob, knob.default),
+            "value": render(knob, knob.value),
             "doc": knob.doc,
         }
         for name, knob in sorted(_KNOBS.items())
@@ -109,11 +171,18 @@ def markdown_table():
 
     ``python -m repro knobs --markdown`` prints this, the README embeds
     it, and a drift test requires the embedded copy verbatim — so a new
-    knob is a one-line ``flag(...)`` plus pasting the regenerated table.
+    knob is a one-line ``flag(...)``/``setting(...)`` plus pasting the
+    regenerated table.
     """
     lines = ["| Knob | Default | Effect |", "|---|---|---|"]
     for name, info in snapshot().items():
-        default = "on" if info["default"] else "off"
+        default = info["default"]
+        if isinstance(default, bool):
+            default = "on" if default else "off"
+        elif default == "":
+            default = "(empty)"
+        else:
+            default = f"`{default}`"
         doc = " ".join(info["doc"].split())
         lines.append(f"| `{name}` | {default} | {doc} |")
     return "\n".join(lines)
@@ -168,4 +237,57 @@ REPRO_SPECULATE = flag(
         "the simulated oracle (seeded interleavings vs the sequential "
         "run) before any real backend sees it; off = inconclusive "
         "tests reject outright.",
+)
+
+REPRO_SUPERVISE = flag(
+    "REPRO_SUPERVISE", default=True,
+    doc="Supervised region dispatch on the processes backend: classify "
+        "worker death / hang / poisoned payloads as infrastructure "
+        "failures and retry the region (pool respawn + cache "
+        "invalidation + re-encode) instead of failing the run; off = "
+        "legacy fail-fast dispatch with no retries and no fault "
+        "injection.",
+)
+
+REPRO_FAILOVER = flag(
+    "REPRO_FAILOVER", default=True,
+    doc="Graceful-degradation ladder: a region that exhausts its "
+        "processes-backend retry budget fails over to the threads "
+        "backend, then to serial interpretation, and the Session "
+        "quarantine remembers the working rung for warm re-runs; off "
+        "= exhausted retries raise immediately.",
+)
+
+REPRO_FAULTS = setting(
+    "REPRO_FAULTS", "",
+    doc="Fault-injection spec for chaos testing, e.g. "
+        "`crash:region=2:worker=1;hang:p=0.05:seed=7` — scenarios "
+        "separated by `;`, fields by `:`. Kinds: crash, hang, "
+        "corrupt_wire, drop_result. Selectors: region=N (per-region "
+        "dispatch ordinal), worker=K, p=<prob> with seed=<int>, "
+        "times=N budget (default 1), s=<seconds> hang duration. Empty "
+        "= no injection.",
+)
+
+REPRO_RETRY_BUDGET = setting(
+    "REPRO_RETRY_BUDGET", 2,
+    doc="Per-region retry budget for supervised processes dispatch: "
+        "how many times an infrastructure failure (worker death, "
+        "hang, poisoned payload) re-dispatches the region before the "
+        "degradation ladder (or a RegionDispatchError) takes over.",
+)
+
+REPRO_RETRY_BACKOFF = setting(
+    "REPRO_RETRY_BACKOFF", 0.05,
+    doc="Base sleep (seconds) between region retries; attempt N waits "
+        "base * 2^(N-1) after the pool respawn, bounding recovery "
+        "storms under repeated faults.",
+)
+
+REPRO_REGION_TIMEOUT = setting(
+    "REPRO_REGION_TIMEOUT", 0.0,
+    doc="Per-region dispatch deadline (seconds) for the processes "
+        "backend; 0 uses the step-budget allowance "
+        "(max(120, max_steps / 50_000)). Lower it in chaos tests so "
+        "injected hangs are detected quickly.",
 )

@@ -69,6 +69,7 @@ import io
 import itertools
 import math
 import pickle
+import random
 from collections import OrderedDict
 
 from repro.analysis.loops import find_natural_loops
@@ -672,6 +673,22 @@ class WorkerPayload:
             self, state_bytes=state_bytes, verify_state=False
         )
 
+    def corrupted(self, seed=0):
+        """A copy with deterministically flipped delta bytes (chaos only).
+
+        Byte 0 — the pickle ``PROTO`` opcode — is always flipped, so the
+        child's decode *fails loudly* rather than deserializing to
+        silent garbage; a few seeded positions are flipped on top to
+        exercise longer-prefix parses.
+        """
+        blob = bytearray(self.delta_bytes)
+        if blob:
+            blob[0] ^= 0xFF
+            draw = random.Random(f"corrupt:{seed}:{len(blob)}")
+            for _ in range(min(4, len(blob) - 1)):
+                blob[draw.randrange(1, len(blob))] ^= 0xFF
+        return dataclasses.replace(self, delta_bytes=bytes(blob))
+
 
 @dataclasses.dataclass
 class RegionPayloads:
@@ -1069,17 +1086,27 @@ def _install_resident(stream_id, key, state_bytes):
     return resident
 
 
+class PreludeVerificationError(ValueError):
+    """A ``VERIFY_PRELUDE`` divergence: the oracle caught a real bug.
+
+    Distinct from ordinary decode failures so the supervised dispatch
+    path treats it as *fatal*: retrying would re-ship the full (already
+    mutated) state and silently bless exactly the unlogged mutation the
+    verification mode exists to catch.
+    """
+
+
 def _verify_resident(resident, state_bytes, stream_id):
     fresh = pickle.loads(state_bytes)
     table = fresh["table"]
     if len(table) != len(resident.table):
-        raise ValueError(
+        raise PreludeVerificationError(
             f"resident prelude diverged (stream {stream_id}): table has "
             f"{len(resident.table)} storages, fresh state {len(table)}"
         )
     for index, (have, want) in enumerate(zip(resident.table, table)):
         if have != want:
-            raise ValueError(
+            raise PreludeVerificationError(
                 f"resident prelude diverged (stream {stream_id}) at "
                 f"storage {index}: resident={have!r} fresh={want!r} — "
                 "a parent-side mutation bypassed the write log"

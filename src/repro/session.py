@@ -411,6 +411,9 @@ class Session:
                  else self.config.opt_level)
         pool_size = self.config.machine.cores
         prelude = self._prelude_codec()
+        quarantine = self._quarantine()
+        retry_budget = self.config.retry_budget
+        failover = self.config.failover
         compile_on = (
             self.compile_regions_enabled if compile_regions is None
             else bool(compile_regions)
@@ -427,7 +430,8 @@ class Session:
             result = run_source_plan(
                 self.module, self.config.function_name, workers, seed,
                 backend, schedule, chunk, pool_size, prelude,
-                compile_on,
+                compile_on, quarantine=quarantine,
+                retry_budget=retry_budget, failover=failover,
             )
         elif isinstance(plan, str):
             if level == self.config.opt_level:
@@ -437,7 +441,8 @@ class Session:
             result = run_parallel(
                 self.module, regions, self.config.function_name, workers,
                 seed, backend, schedule, chunk, pool_size, prelude,
-                compile_on,
+                compile_on, quarantine=quarantine,
+                retry_budget=retry_budget, failover=failover,
             )
         else:
             # Explicit ProgramPlan: optimize here, against the session's
@@ -458,6 +463,9 @@ class Session:
                 pool_size=pool_size,
                 prelude=prelude,
                 compile_regions=compile_on,
+                quarantine=quarantine,
+                retry_budget=retry_budget,
+                failover=failover,
             )
         for region in result.parallel_regions:
             self.diagnostics.record_parallel(region)
@@ -479,6 +487,23 @@ class Session:
             codec = PreludeCodec()
             self._prelude_codec_obj = codec
         return codec
+
+    def _quarantine(self):
+        """This session's degradation-ladder denylist.
+
+        One :class:`~repro.runtime.faults.Quarantine` for the session's
+        lifetime: a region that exhausted its processes retries and
+        failed over is remembered (keyed by program content hash +
+        region label), so warm re-runs skip straight to the rung that
+        worked instead of re-paying the doomed retries.
+        """
+        quarantine = getattr(self, "_quarantine_obj", None)
+        if quarantine is None:
+            from repro.runtime.faults import Quarantine
+
+            quarantine = Quarantine()
+            self._quarantine_obj = quarantine
+        return quarantine
 
     def _cached_regions(self, abstraction):
         recipes = self.region_recipes

@@ -38,3 +38,14 @@ class PlanError(ReproError):
 
 class EmulationError(ReproError):
     """Raised by the interpreter for runtime faults (OOB access, div0...)."""
+
+
+class RegionDispatchError(EmulationError):
+    """Raised when region dispatch infrastructure fails beyond recovery.
+
+    Worker death, hangs, and poisoned payloads are retried by the
+    supervised processes backend; this error means the retry budget is
+    exhausted.  It is *not* a program error — the degradation ladder
+    catches it and re-runs the region on a lower rung, while genuine
+    program faults stay plain :class:`EmulationError` and propagate.
+    """

@@ -26,10 +26,11 @@ def _fresh_codec_caches():
     test would dominate suite runtime; tests that need a cold pool use
     their own fixture.
     """
-    from repro.runtime import knobs, payload
+    from repro.runtime import faults, knobs, payload
 
     knobs.refresh()
     payload.reset_codec_caches()
+    faults.reset()
     from repro.codegen import cache as codegen_cache
 
     codegen_cache.reset()

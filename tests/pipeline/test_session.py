@@ -283,11 +283,14 @@ def test_payload_feedback_aggregates_per_label():
     diagnostics.record_parallel({
         "header": "seq", "payloads": 0, "per_worker": [],
     })
-    payload_bytes, prelude_warm, speedup = diagnostics.payload_feedback()
+    payload_bytes, prelude_warm, speedup, recovery = (
+        diagnostics.payload_feedback()
+    )
     assert payload_bytes == {"L1": 4400 // 8, "L2": 300}
     assert prelude_warm == {"L1": 0.5, "L2": 0.5}
     assert "seq" not in payload_bytes
     assert speedup == {}  # no chunk-mode executions recorded
+    assert recovery == {}  # no supervised recoveries recorded
 
 
 def test_payload_feedback_measures_compiled_speedup():
@@ -314,7 +317,7 @@ def test_payload_feedback_measures_compiled_speedup():
         "header": "L3", "seconds": 1.0, "compiled_chunks": 2,
         "per_worker": [{"steps": 1000}],
     })
-    _bytes, _warm, speedup = diagnostics.payload_feedback()
+    _bytes, _warm, speedup, _recovery = diagnostics.payload_feedback()
     assert speedup == {"L1": pytest.approx(4.0)}
 
 

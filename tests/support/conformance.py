@@ -37,6 +37,43 @@ def describe_mismatch(actual, expected):
     return f"parallel output {actual!r} != sequential output {expected!r}"
 
 
+# -- chaos conformance ---------------------------------------------------------
+#
+# Fault-injection sweeps assert a two-outcome contract: a faulted run
+# either recovers to the fault-free output or surfaces a clean
+# EmulationError.  Hangs, silent corruption, and non-Emulation
+# exceptions all violate it.
+
+#: Deterministic fault scenarios every kernel must survive (recover or
+#: fail cleanly).  Region/worker selectors hit the first regions any
+#: multi-region kernel dispatches; single-region kernels simply match
+#: fewer of them.
+CHAOS_SCENARIOS = (
+    "crash:region=0:worker=0",
+    "corrupt_wire:region=0:worker=1",
+    "drop_result:region=1:worker=0",
+    "crash:region=0:worker=0;corrupt_wire:region=1;drop_result:region=2",
+)
+
+
+def chaos_outcome(run):
+    """Run ``run()`` under injected faults; classify the result.
+
+    Returns ``("ok", output)`` when the run completes, or
+    ``("error", exc)`` when it surfaces a clean
+    :class:`~repro.util.errors.EmulationError`.  Any other exception —
+    including infra leakage like ``BrokenProcessPool`` — propagates,
+    failing the test: fault tolerance must never turn an injected fault
+    into an unclassified crash.
+    """
+    from repro.util.errors import EmulationError
+
+    try:
+        return ("ok", run())
+    except EmulationError as exc:
+        return ("error", exc)
+
+
 # -- per-worker load-balance diffing -------------------------------------------
 #
 # Region stats carry deterministic per-worker step counts (partitioning
