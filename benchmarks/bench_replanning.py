@@ -1,0 +1,266 @@
+"""Adaptive-replanning gate: recovery from a mis-calibrated model on LU.
+
+Run explicitly (bench files are not collected by the default suite)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_replanning.py -q -s
+
+The planner is handed a machine model whose coefficients are ~100x off
+(``payload_cost_per_byte=1e-9``, dispatch bars of 1/2 steps: "every
+region is worth process-pool dispatch, bytes are free"), so the -O2
+plan for LU pays dozens of pointless pool round-trips.  Two gates:
+
+* **Recovery**: the adaptive run — same mis-calibrated plan, divergence
+  detection + mid-run replanning on — must finish at least **1.3x**
+  faster than the non-adaptive run (paired median over interleaved
+  reps, same machine, warm pool).
+* **Convergence**: after 3 calibrated runs, the profile's coefficient
+  EWMAs must land within **2x** of an independently measured fresh
+  reference, and a *warm session* loading that profile must plan from
+  the measured (not the mis-calibrated) coefficients.
+
+Rows land in ``BENCH_replanning.json``; ``seconds`` and the recovery
+ratio are report-only in the baseline gate (CI machines vary), while
+the non-adaptive row's ``payload_bytes`` — a fixed static plan's wire
+traffic — is gated like every other bench.  The 1.3x/2x gates are
+enforced here, where both measurements share one machine.
+"""
+
+import statistics
+import time
+
+import pytest
+
+from repro import Session
+from repro.planner.calibration import CalibrationStore
+from repro.planner.machine import MachineModel
+from repro.runtime import backends, knobs
+
+KERNEL = "LU"
+BACKEND = "processes"
+WORKERS = 4
+OPT = 2
+REPETITIONS = 7
+RECOVERY_GATE = 1.3
+CONVERGENCE_FACTOR = 2.0
+CALIBRATION_RUNS = 3
+
+#: ~100x-off coefficients: wire bytes claimed free, dispatch bars of
+#: 1/2 steps so the small-region pass never serializes anything.
+MISCALIBRATED = MachineModel(
+    serial_region_cost=1,
+    threads_region_cost=2,
+    payload_cost_per_byte=1e-9,
+)
+
+
+def _session(**overrides):
+    return Session.from_kernel(
+        KERNEL, opt_level=OPT, backend=BACKEND, workers=WORKERS,
+        machine=MISCALIBRATED, **overrides,
+    )
+
+
+@pytest.fixture(scope="module")
+def monkeypatch_module():
+    patcher = pytest.MonkeyPatch()
+    yield patcher
+    patcher.undo()
+
+
+@pytest.fixture(scope="module")
+def measured(monkeypatch_module):
+    """Interleaved non-adaptive vs adaptive timings on a warm pool."""
+    knobs.refresh()
+    monkeypatch_module.setattr(backends, "POOL_RECYCLE_REGIONS", 1_000_000)
+    backends._reset_chunk_pool()
+
+    plain = _session()
+    adaptive = _session()
+    # Warm pool + caches.  The first adaptive run is the one where the
+    # divergence detector fires and re-prices the plan; the adopted
+    # overrides persist in the session's cached plan, so later reps
+    # measure the recovered steady state.
+    first = {
+        "nonadaptive": plain.run("PS-PDG"),
+        "adaptive": adaptive.run("PS-PDG", adaptive=True),
+    }
+    times = {"nonadaptive": [], "adaptive": []}
+    last = dict(first)
+    for _ in range(REPETITIONS):
+        for mode, session, on in (("nonadaptive", plain, False),
+                                  ("adaptive", adaptive, True)):
+            started = time.perf_counter()
+            last[mode] = session.run("PS-PDG", adaptive=on)
+            times[mode].append(time.perf_counter() - started)
+    recovery = statistics.median(
+        off / on for off, on in zip(times["nonadaptive"], times["adaptive"])
+    )
+    best = {mode: min(series) for mode, series in times.items()}
+    return best, recovery, first, last
+
+
+@pytest.fixture(scope="module")
+def calibrated(tmp_path_factory, measured):
+    """3 calibrated runs into a profile, then a warm session over it."""
+    profile = str(tmp_path_factory.mktemp("profiles") / "replanning.json")
+    store = CalibrationStore(profile)
+    for _ in range(CALIBRATION_RUNS):
+        # Cold pool each run, and every run executes the *same*
+        # mis-calibrated storm plan: the gate measures whether the
+        # estimator converges, so the operating point (75 dispatches,
+        # full payloads) must stay fixed across runs.  The re-planning
+        # behavior of calibrate-enabled sessions is covered by the
+        # warm-session test below.
+        backends._reset_chunk_pool()
+        run_session = _session()
+        store.observe_run(
+            run_session.run("PS-PDG").parallel_regions,
+            program_key=run_session.program_key(),
+        )
+    store.save()
+
+    # Independent fresh reference: one more storm run's stats distilled
+    # into a brand-new store (no EWMA history), same conditions.
+    backends._reset_chunk_pool()
+    reference = CalibrationStore()
+    reference.observe_run(_session().run("PS-PDG").parallel_regions)
+
+    backends._reset_chunk_pool()
+    warm = _session(calibrate=True, profile_path=profile)
+    warm_result = warm.run("PS-PDG")
+    return store, reference, warm, warm_result
+
+
+@pytest.fixture(scope="module")
+def replanning_rows(measured, calibrated):
+    best, recovery, first, last = measured
+    _calibrated, _reference, warm, warm_result = calibrated
+    identity = {
+        "bench": "replanning", "kernel": KERNEL, "backend": BACKEND,
+        "opt": f"-O{OPT}", "workers": WORKERS,
+    }
+    plain_result = last["nonadaptive"]
+    adaptive_result = last["adaptive"]
+    rows = [
+        dict(
+            identity, mode="nonadaptive", seconds=best["nonadaptive"],
+            dispatches=len(plain_result.parallel_regions),
+            # Gated in check_baselines: the cold first run ships the
+            # static plan's full payloads, which is deterministic;
+            # warm repeats ship history-dependent prelude deltas.
+            payload_bytes=sum(
+                r.get("payload_bytes", 0)
+                for r in first["nonadaptive"].parallel_regions
+            ),
+        ),
+        dict(
+            identity, mode="adaptive", seconds=best["adaptive"],
+            recovery=recovery,
+            replans=len(first["adaptive"].replan_events),
+            dispatches=len(adaptive_result.parallel_regions),
+            # Timing-dependent (how soon the replan fires), so named
+            # outside the gated payload_bytes field on purpose.
+            wire_bytes=sum(
+                r.get("payload_bytes", 0)
+                for r in adaptive_result.parallel_regions
+            ),
+        ),
+        dict(
+            identity, mode="calibrated_warm",
+            dispatches=len(warm_result.parallel_regions),
+            # Also timing-dependent: whether a borderline region lands
+            # above or below the measured dispatch bar varies per run.
+            wire_bytes=sum(
+                r.get("payload_bytes", 0)
+                for r in warm_result.parallel_regions
+            ),
+            coefficients=len(warm.calibration.measured_coefficients()),
+        ),
+    ]
+    return rows
+
+
+def test_replanning_table(replanning_rows, bench_json):
+    path = bench_json("replanning", replanning_rows)
+    print(f"\nwrote {path}")
+    header = (
+        f"{'kernel':7} {'mode':16} {'seconds':>9} {'recov':>7} "
+        f"{'rpl':>4} {'disp':>5} {'bytes':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in replanning_rows:
+        recovery = (f"{row['recovery']:>6.2f}x"
+                    if "recovery" in row else f"{'':7}")
+        print(
+            f"{row['kernel']:7} {row['mode']:16} "
+            f"{row.get('seconds', 0.0):>9.4f} {recovery} "
+            f"{row.get('replans', ''):>4} {row.get('dispatches', ''):>5} "
+            f"{row.get('payload_bytes', row.get('wire_bytes', '')):>9}"
+        )
+
+
+def test_adaptive_recovers_from_miscalibration(measured):
+    """Mid-run replanning claws back >=1.3x of the mispricing's cost."""
+    best, recovery, first, _last = measured
+    print(
+        f"\n{KERNEL} -O{OPT} {BACKEND} W={WORKERS}: non-adaptive best "
+        f"{best['nonadaptive'] * 1000:.1f}ms, adaptive best "
+        f"{best['adaptive'] * 1000:.1f}ms, paired median recovery "
+        f"{recovery:.2f}x"
+    )
+    assert first["adaptive"].replan_events, "divergence never fired"
+    assert recovery >= RECOVERY_GATE, (
+        f"adaptive run only {recovery:.2f}x faster than non-adaptive "
+        f"under a 100x-miscalibrated model — gate is {RECOVERY_GATE}x"
+    )
+
+
+def test_adaptive_output_identical(measured):
+    _best, _recovery, first, last = measured
+    assert first["adaptive"].formatted_output() == \
+        first["nonadaptive"].formatted_output()
+    assert last["adaptive"].formatted_output() == \
+        last["nonadaptive"].formatted_output()
+
+
+def test_calibration_converges_within_factor(calibrated):
+    """After 3 runs the EWMAs agree with a fresh measurement within 2x."""
+    store, reference, _warm, _warm_result = calibrated
+    converged = dict(store.measured_coefficients())
+    fresh = dict(reference.measured_coefficients())
+    shared = set(converged) & set(fresh)
+    assert shared, "no coefficient measured by both stores"
+    for name in sorted(shared):
+        value, _ = converged[name]
+        target, _ = fresh[name]
+        ratio = value / target
+        print(f"{name}: converged {value:.4g} vs fresh {target:.4g} "
+              f"({ratio:.2f}x)")
+        assert 1.0 / CONVERGENCE_FACTOR <= ratio <= CONVERGENCE_FACTOR, (
+            f"{name} drifted {ratio:.2f}x from the fresh measurement "
+            f"after {CALIBRATION_RUNS} runs — gate is "
+            f"{CONVERGENCE_FACTOR}x"
+        )
+
+
+def test_warm_session_plans_from_measured_coefficients(measured, calibrated):
+    """A profile-loading session plans from measured numbers: the
+    calibrate stage hands the optimizer the profile's machine and the
+    per-region wire feedback, not the mis-calibrated constructor input."""
+    _best, _recovery, first, _last = measured
+    _calibrated, _reference, warm, warm_result = calibrated
+    machine = warm.calibrated["machine"]
+    assert machine != MISCALIBRATED
+    assert machine == warm.calibration.calibrated_machine(MISCALIBRATED)
+    # The wire is no longer priced as free, and the dispatch bars
+    # reflect pool round-trips actually paid for.
+    assert machine.payload_cost_per_byte > \
+        MISCALIBRATED.payload_cost_per_byte * 100
+    assert machine.threads_region_cost > MISCALIBRATED.threads_region_cost
+    assert machine.serial_region_cost > MISCALIBRATED.serial_region_cost
+    # Per-region bytes-on-wire feedback reached the planner too.
+    assert warm.calibrated["payload_bytes"]
+    # And planning from measured numbers never perturbs the results.
+    assert warm_result.formatted_output() == \
+        first["nonadaptive"].formatted_output()

@@ -13,10 +13,17 @@ with it:
   privatizable, critical -> orderless, merge loop -> independent) and
   selects a strictly better plan, the paper's headline claim.
 
+The second half then *re-plans at run time*: the session is given a
+deliberately mis-calibrated machine model (per-byte wire cost claimed
+to be ~free), runs IS on the process pool with ``adaptive=True``, and
+prints the replan events the divergence detector fired plus the
+coefficients the calibration store measured along the way.
+
 Run:  python examples/is_replanning.py
 """
 
 from repro import Session
+from repro.planner.machine import DEFAULT_MACHINE, MachineModel
 from repro.workloads.nas import is_
 
 
@@ -55,6 +62,51 @@ def main():
     print(
         f"   while the PS-PDG plan reaches {ps_speedup:.2f}x — the "
         f"compiler found a better plan than the source encoded."
+    )
+    print()
+    replan_demo()
+
+
+def replan_demo():
+    """Run IS adaptively under a mis-calibrated machine model."""
+    print("adaptive replanning demo: plan with a machine model whose")
+    print("dispatch/wire costs are ~100x too optimistic, then let the")
+    print("runtime's divergence detector re-price the remaining regions:")
+    print()
+
+    miscalibrated = MachineModel(
+        serial_region_cost=1,       # "every region is worth dispatching"
+        threads_region_cost=2,
+        payload_cost_per_byte=1e-9,  # "bytes on the wire are free"
+    )
+    session = Session.from_kernel(
+        "IS", opt_level=2, backend="processes", workers=4,
+        machine=miscalibrated,
+    )
+    result = session.run("PS-PDG", adaptive=True)
+    print(f"program output: {result.formatted_output()}")
+    print(f"replan events:  {len(result.replan_events)}")
+    for event in result.replan_events:
+        reasons = ", ".join(
+            f"{reason['kind']}={reason['ratio']}x"
+            for reason in event["reasons"]
+        )
+        for change in event["changes"]:
+            before, after = change["backend_override"]
+            print(
+                f"  after {event['after']}: {reasons} -> "
+                f"{change['region']} backend {before or 'processes'} "
+                f"-> {after or 'processes'}"
+            )
+    print()
+    print("coefficients the run measured (vs. the mis-calibrated input):")
+    print(session.calibration.describe(miscalibrated))
+    print()
+    print("static defaults, for comparison:")
+    print(
+        f"  payload_cost_per_byte={DEFAULT_MACHINE.payload_cost_per_byte} "
+        f"threads_region_cost={DEFAULT_MACHINE.threads_region_cost} "
+        f"serial_region_cost={DEFAULT_MACHINE.serial_region_cost}"
     )
 
 

@@ -57,6 +57,12 @@ def _build_session(program, args):
         overrides["opt_level"] = args.opt
     if getattr(args, "compile_regions", None) is not None:
         overrides["compile_regions"] = args.compile_regions
+    if getattr(args, "adaptive", None) is not None:
+        overrides["adaptive"] = args.adaptive
+    if getattr(args, "calibrate", None) is not None:
+        overrides["calibrate"] = args.calibrate
+    if getattr(args, "profile_path", None) is not None:
+        overrides["profile_path"] = args.profile_path
 
     path = pathlib.Path(program)
     if path.exists():
@@ -128,6 +134,20 @@ def _cmd_run(args):
     for line in result.formatted_output():
         print(line)
     print(f"[{result.steps} dynamic instructions]", file=sys.stderr)
+    for event in getattr(result, "replan_events", ()):
+        reasons = ", ".join(
+            f"{reason['kind']} ({reason['ratio']}x > "
+            f"{reason['threshold']}x)"
+            for reason in event["reasons"]
+        )
+        changed = ", ".join(
+            change["region"] for change in event["changes"]
+        )
+        print(
+            f"[replan] after {event['after']}: {reasons} -> "
+            f"re-priced {changed}",
+            file=sys.stderr,
+        )
     if args.diagnostics:
         print(session.diagnostics.parallel_report(), file=sys.stderr)
     if args.verify:
@@ -141,6 +161,42 @@ def _cmd_run(args):
                 file=sys.stderr,
             )
             return 1
+    return 0
+
+
+def _cmd_profile(args):
+    """Print the calibration profile: measured vs. static coefficients."""
+    from repro.planner.calibration import CalibrationStore
+    from repro.planner.machine import DEFAULT_MACHINE
+    from repro.runtime import knobs
+
+    path = args.profile_path
+    if path is None:
+        knobs.refresh()
+        path = knobs.REPRO_PROFILE.value or None
+    store = CalibrationStore(path)
+    print(store.describe(DEFAULT_MACHINE))
+    if args.program:
+        session = _build_session(args.program, args)
+        key = session.program_key()
+        payload_bytes, prelude_warm, compiled_speedup = (
+            store.region_feedback(key)
+        )
+        print()
+        print(f"region feedback for {session.config.name!r} ({key[:12]}…):")
+        if not payload_bytes and not prelude_warm and not compiled_speedup:
+            print("  (no observed regions for this program)")
+        for label in sorted(
+            set(payload_bytes) | set(prelude_warm) | set(compiled_speedup)
+        ):
+            parts = []
+            if label in payload_bytes:
+                parts.append(f"bytes/dispatch={payload_bytes[label]}")
+            if label in prelude_warm:
+                parts.append(f"warm={prelude_warm[label]:.2f}")
+            if label in compiled_speedup:
+                parts.append(f"compiled={compiled_speedup[label]:.2f}x")
+            print(f"  {label:16} {' '.join(parts)}")
     return 0
 
 
@@ -348,6 +404,23 @@ def build_parser():
              "--diagnostics table shows the recovery columns",
     )
     p_run.add_argument(
+        "--adaptive", action=argparse.BooleanOptionalAction, default=None,
+        help="mid-run replanning: re-derive the remaining regions' "
+             "cost decisions when a dispatch diverges from the plan's "
+             "predictions (default: the REPRO_ADAPTIVE knob)",
+    )
+    p_run.add_argument(
+        "--calibrate", action=argparse.BooleanOptionalAction, default=None,
+        help="distill this run's measurements into the calibration "
+             "profile so later plans use measured coefficients "
+             "(default: the REPRO_CALIBRATE knob)",
+    )
+    p_run.add_argument(
+        "--profile", dest="profile_path", default=None, metavar="PATH",
+        help="calibration profile JSON to load/append (default: the "
+             "REPRO_PROFILE knob; empty = in-memory only)",
+    )
+    p_run.add_argument(
         "--verify", action="store_true",
         help="check the parallel output against the sequential run",
     )
@@ -370,6 +443,22 @@ def build_parser():
     _add_opt_argument(p_report)
     _add_machine_arguments(p_report)
     p_report.set_defaults(func=_cmd_report)
+
+    p_profile = sub.add_parser(
+        "profile", help="print the calibration profile: measured vs. "
+                        "static machine-model coefficients"
+    )
+    p_profile.add_argument(
+        "program", nargs="?", default=None,
+        help="optional source file / kernel name: also print the "
+             "per-region feedback remembered for that program",
+    )
+    p_profile.add_argument("--function", default=None)
+    p_profile.add_argument(
+        "--profile", dest="profile_path", default=None, metavar="PATH",
+        help="profile JSON to read (default: the REPRO_PROFILE knob)",
+    )
+    p_profile.set_defaults(func=_cmd_profile)
 
     p_knobs = sub.add_parser(
         "knobs", help="list the runtime's environment knobs and their "

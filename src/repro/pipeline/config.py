@@ -65,6 +65,23 @@ class SessionConfig:
             threads → serial) once retries are exhausted.
             ``True``/``False`` force it; ``None`` (the default) defers
             to the ``REPRO_FAILOVER`` environment knob.
+        calibrate: distill each run's region stats into measured
+            machine-model coefficients (a
+            :class:`repro.planner.calibration.CalibrationStore`) and
+            plan subsequent runs with them instead of ``machine``'s
+            static values.  ``True``/``False`` force it; ``None`` (the
+            default) defers to the ``REPRO_CALIBRATE`` environment
+            knob.
+        adaptive: default for ``Session.run(adaptive=)`` — mid-run
+            replanning of the remaining regions' cost decisions when a
+            dispatch diverges from the plan's predictions.
+            ``True``/``False`` force it; ``None`` (the default) defers
+            to the ``REPRO_ADAPTIVE`` environment knob.  Implies
+            calibration for the run's own observations.
+        profile_path: where the calibration profile JSON persists
+            across sessions.  ``None`` (the default) defers to the
+            ``REPRO_PROFILE`` environment knob; empty means in-memory
+            only.
     """
 
     name: str = "session"
@@ -84,6 +101,9 @@ class SessionConfig:
     compile_regions: bool | None = None
     retry_budget: int | None = None
     failover: bool | None = None
+    calibrate: bool | None = None
+    adaptive: bool | None = None
+    profile_path: str | None = None
 
     def __post_init__(self):
         unknown = set(self.abstractions) - set(ALL_ABSTRACTIONS)

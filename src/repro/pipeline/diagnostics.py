@@ -87,9 +87,10 @@ class Diagnostics:
         to either engine.
 
         ``recovery`` maps each label that ever needed supervision to
-        ``{"retries", "failovers", "faults_injected", "recovery_ms"}``
-        totals — labels with an all-zero ledger are omitted, so an
-        empty dict means every dispatch was clean.
+        ``{"retries", "failovers", "faults_injected", "recovery_ms",
+        "replans"}`` totals — labels with an all-zero ledger are
+        omitted, so an empty dict means every dispatch was clean and
+        never triggered an adaptive replan.
         """
         totals = {}
         rates = {}
@@ -109,11 +110,13 @@ class Diagnostics:
                 "failovers": region.get("failovers", 0),
                 "faults_injected": region.get("faults_injected", 0),
                 "recovery_ms": region.get("recovery_ms", 0.0),
+                "replans": region.get("replans", 0),
             }
             if any(ledger.values()):
                 entry = recovery.setdefault(label, {
                     "retries": 0, "failovers": 0,
                     "faults_injected": 0, "recovery_ms": 0.0,
+                    "replans": 0,
                 })
                 for key, value in ledger.items():
                     entry[key] += value
@@ -201,6 +204,7 @@ class Diagnostics:
         supervision ledger: region re-dispatches after infrastructure
         failures, degradation-ladder failovers, injected faults, and
         milliseconds spent in recovery (pool respawn + backoff).
+        ``rpl`` counts the adaptive replans this dispatch triggered.
         """
         if not self.parallel_regions:
             return "no parallel regions executed"
@@ -208,7 +212,7 @@ class Diagnostics:
             f"{'loop':16} {'backend':26} {'sched':8} {'W':>2} "
             f"{'iters':>6} {'bytes':>8} {'phit':>4} {'pmiss':>5} "
             f"{'saved':>8} {'cc':>4} {'ic':>4} {'rtry':>4} {'fo':>3} "
-            f"{'flt':>4} {'rec-ms':>7} {'seconds':>9}  "
+            f"{'flt':>4} {'rec-ms':>7} {'rpl':>3} {'seconds':>9}  "
             f"per-worker steps"
         ]
         lines.append("-" * len(lines[0]))
@@ -230,6 +234,7 @@ class Diagnostics:
                 f"{region.get('failovers', 0):>3} "
                 f"{region.get('faults_injected', 0):>4} "
                 f"{region.get('recovery_ms', 0.0):>7.1f} "
+                f"{region.get('replans', 0):>3} "
                 f"{region['seconds']:>9.4f}  "
                 f"{steps}"
             )

@@ -97,6 +97,52 @@ def _build_views(session):
     }
 
 
+def _build_calibrate(session):
+    """The effective (possibly measured) machine model + wire feedback.
+
+    With calibration off the artifact is the config's static machine
+    and empty feedback, so downstream keys and decisions are byte-
+    identical to the pre-calibration pipeline.  With calibration on,
+    the session's :class:`~repro.planner.calibration.CalibrationStore`
+    (loaded from the ``REPRO_PROFILE`` path at construction) supplies
+    measured coefficients and the per-region-label payload feedback it
+    remembered for this program — keyed by the module's content hash,
+    per the graph-labelling idea of profiling region shapes rather than
+    source positions.
+    """
+    base = session.config.machine
+    if not session.calibrate_enabled:
+        return {
+            "machine": base,
+            "payload_bytes": {},
+            "prelude_warm": {},
+            "compiled_speedup": {},
+            "measured": {},
+        }
+    store = session.calibration
+    payload_bytes, prelude_warm, compiled_speedup = store.region_feedback(
+        session.program_key()
+    )
+    return {
+        "machine": store.calibrated_machine(base),
+        "payload_bytes": payload_bytes,
+        "prelude_warm": prelude_warm,
+        "compiled_speedup": compiled_speedup,
+        "measured": {
+            name: value
+            for name, (value, _samples)
+            in store.measured_coefficients().items()
+        },
+    }
+
+
+def _calibrate_stats(artifact):
+    return {
+        "coefficients": len(artifact["measured"]),
+        "labels": len(artifact["payload_bytes"]),
+    }
+
+
 def _build_optimize(session):
     """Run the ``-O`` pass pipeline over every planned abstraction.
 
@@ -104,10 +150,14 @@ def _build_optimize(session):
     (rewritten plan + report).  Keyed by ``opt_level`` and ``machine``
     (plus the planning fields), so flipping ``-O`` levels re-keys only
     this stage and ``recipes`` — the parse/PDG/PS-PDG artifacts upstream
-    stay cached.
+    stay cached.  The machine model and wire feedback come from the
+    ``calibrate`` stage: static defaults normally, measured coefficients
+    when the session calibrates (the stage key carries the store's
+    version, so a new observation re-prices plans on next access).
     """
     from repro.opt import optimize_plan
 
+    calibrated = session.calibrated
     results = {}
     for name, entry in session.critical_paths().items():
         plan = entry.get("plan")
@@ -120,8 +170,11 @@ def _build_optimize(session):
             session.pspdg,
             plan,
             session.config.opt_level,
-            machine=session.config.machine,
+            machine=calibrated["machine"],
             loops=session.loops,
+            payload_bytes=calibrated["payload_bytes"] or None,
+            prelude_warm=calibrated["prelude_warm"] or None,
+            compiled_speedup=calibrated["compiled_speedup"] or None,
             compile_regions=session.compile_regions_enabled,
         )
     return results
@@ -245,13 +298,21 @@ STAGES = {
             _build_views,
             lambda views: {"abstractions": ",".join(views)},
         ),
+        # Profile-guided calibration: the effective machine model and
+        # measured wire feedback the optimizer prices plans with.
+        Stage(
+            "calibrate",
+            ("module",),
+            _build_calibrate,
+            _calibrate_stats,
+        ),
         # The ``-O`` pipeline: pass-rewritten plans, then the region
         # recipes the runtime dispatches.  Builders additionally reach
         # the planning query (``critical_paths``) through the session;
         # its key fields are folded in via _STAGE_PARAMS["optimize"].
         Stage(
             "optimize",
-            ("function", "pdg", "pspdg", "loops"),
+            ("function", "pdg", "pspdg", "loops", "calibrate"),
             _build_optimize,
             _optimize_stats,
         ),

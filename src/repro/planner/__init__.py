@@ -10,6 +10,7 @@ from repro.planner.classify import (
     SCCInfo,
     classify_loop,
 )
+from repro.planner.calibration import CalibrationStore, ReplanContext
 from repro.planner.critical_path import CriticalPathEvaluator, critical_path
 from repro.planner.experiments import (
     BenchmarkSetup,
@@ -51,6 +52,8 @@ __all__ = [
     "LoopClassification",
     "SCCInfo",
     "classify_loop",
+    "CalibrationStore",
+    "ReplanContext",
     "CriticalPathEvaluator",
     "critical_path",
     "BenchmarkSetup",

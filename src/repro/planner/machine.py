@@ -7,6 +7,12 @@ can sweep it.
 
 import dataclasses
 
+#: Version of the :meth:`MachineModel.to_dict` wire shape.  Bump when a
+#: field changes meaning; :meth:`MachineModel.from_dict` refuses
+#: mismatched payloads so a stale calibration profile can never be
+#: silently misread as current coefficients.
+MACHINE_SCHEMA = 1
+
 
 @dataclasses.dataclass(frozen=True)
 class MachineModel:
@@ -79,7 +85,7 @@ class MachineModel:
         warm dispatch pays only ``1 - prelude_cache_discount`` of the
         per-byte cost.
         """
-        if not payload_bytes:
+        if not payload_bytes or payload_bytes < 0:
             return 0
         warm = min(max(warm_fraction, 0.0), 1.0)
         discount = 1.0 - self.prelude_cache_discount * warm
@@ -109,6 +115,39 @@ class MachineModel:
         if tile < 2:
             return None
         return min(tile, trip)
+
+    # -- serialization (the calibration profile's wire shape) ------------------
+
+    def to_dict(self):
+        """A JSON-serializable snapshot, tagged with the schema version."""
+        data = {"schema": MACHINE_SCHEMA}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            data[field.name] = value
+        return data
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a model from :meth:`to_dict` output.
+
+        Raises ``ValueError`` on a missing/mismatched schema tag; unknown
+        keys (from a *newer* writer adding fields) are ignored so a
+        same-schema profile stays readable.
+        """
+        schema = data.get("schema")
+        if schema != MACHINE_SCHEMA:
+            raise ValueError(
+                f"machine model schema {schema!r} != {MACHINE_SCHEMA}"
+            )
+        known = {field.name for field in dataclasses.fields(cls)}
+        kwargs = {
+            key: tuple(value) if isinstance(value, list) else value
+            for key, value in data.items()
+            if key in known
+        }
+        return cls(**kwargs)
 
 
 DEFAULT_MACHINE = MachineModel()

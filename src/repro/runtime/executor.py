@@ -558,7 +558,8 @@ class ParallelInterpreter(Interpreter):
                  max_steps=50_000_000, backend="simulated",
                  schedule="static", chunk=None, pool_size=None,
                  prelude=None, compile_regions=None, quarantine=None,
-                 retry_budget=None, failover=None):
+                 retry_budget=None, failover=None, adaptive=None,
+                 replan=None):
         super().__init__(module, max_steps)
         if (
             not isinstance(workers, int)
@@ -586,6 +587,20 @@ class ParallelInterpreter(Interpreter):
         self.quarantine = quarantine
         self.retry_budget = retry_budget
         self.failover = failover
+        # Adaptive mid-run replanning: after a dispatched region's
+        # measurements diverge from the plan's predictions, the
+        # *remaining* dispatches' cost decisions (backend override,
+        # tile) are re-derived through optimize_plan with a calibrated
+        # machine model.  ``replan`` is a planner ReplanContext; without
+        # one, adaptive mode has nothing to re-derive and stays off.
+        self.adaptive = (
+            bool(knobs.REPRO_ADAPTIVE) if adaptive is None
+            else bool(adaptive)
+        )
+        self.replan_context = replan
+        self.replan_events = []
+        self._replan_settled = set()  # labels whose last replan changed nothing
+        self._calibrated_upto = 0  # parallel_regions already fed to the store
         if self.backend.name == "processes":
             # Track every shared-state write between region dispatches:
             # the payload codec ships dirty-slot deltas against the pool
@@ -621,9 +636,17 @@ class ParallelInterpreter(Interpreter):
     def run(self, function_name="main", args=(), profiler=None):
         self.parallel_regions = []
         self.sequence_stats = {"compiled": 0, "interpreted": 0}
+        self.replan_events = []
+        self._replan_settled = set()
+        self._calibrated_upto = 0
         result = super().run(function_name, args, profiler)
         result.parallel_regions = list(self.parallel_regions)
         result.sequence_stats = dict(self.sequence_stats)
+        result.replan_events = list(self.replan_events)
+        # How many parallel_regions a mid-run replan already fed to the
+        # calibration store — the Session's post-run calibration starts
+        # there so no region is ever counted twice.
+        result.calibrated_upto = self._calibrated_upto
         return result
 
     def invalidate_prelude(self):
@@ -876,7 +899,7 @@ class ParallelInterpreter(Interpreter):
         self._join(workers, members, frame)
         chunk = (self.chunk if self.chunk is not None
                  else region_par.recipes[0].chunk)
-        self.parallel_regions.append({
+        stats = {
             "header": region_par.label,
             "fused": region_par.fused,
             "backend": region.backend_used or backend.name,
@@ -911,7 +934,11 @@ class ParallelInterpreter(Interpreter):
                 }
                 for worker in workers
             ],
-        })
+        }
+        self.parallel_regions.append(stats)
+        events_before = len(self.replan_events)
+        self._maybe_replan(stats)
+        stats["replans"] = len(self.replan_events) - events_before
 
     # -- the graceful-degradation ladder ---------------------------------------
 
@@ -1043,18 +1070,206 @@ class ParallelInterpreter(Interpreter):
 
     def _effective_backend(self, region_par):
         """The region's backend: the configured one unless a small-region
-        override reroutes a ``processes`` dispatch onto threads.
+        override reroutes a ``processes`` dispatch onto threads, or a
+        mid-run replan serialized the region outright.
 
         The override only ever *reduces* dispatch weight; the simulated
-        oracle and the threads backend are left untouched so race
-        detection and lock behavior stay level-independent.
+        oracle is left untouched so race detection stays
+        level-independent.  A ``"sequential"`` override can only appear
+        mid-run (statically-serialized descriptors never reach the
+        runtime — ``recipes_from_plan`` drops them): the region keeps
+        its trigger header, partitioning, and worker-order merge, but
+        runs each worker's chunk on the dispatching thread
+        (:class:`SerialBackend`), so the result is bit-identical to the
+        threads dispatch it replaces.
         """
+        if region_par.backend_override == "sequential" and (
+            self.backend.name in ("threads", "processes")
+        ):
+            return SerialBackend()
         if (
             region_par.backend_override == "threads"
             and self.backend.name == "processes"
         ):
             return get_backend("threads")
         return self.backend
+
+    # -- adaptive mid-run replanning -------------------------------------------
+
+    def _maybe_replan(self, stats):
+        """Re-derive remaining cost decisions when ``stats`` diverges.
+
+        Runs between region dispatches (after the join wrote the
+        region's effects back — the deferred-apply invariant: a replan
+        can never observe or double-apply a half-finished region).
+        Recovery-inflated regions neither calibrate nor trigger: their
+        timings measure the fault injector, not the machine.  Legality
+        is untouched — the replan re-runs the same ``optimize_plan``
+        pipeline on the same PS-PDG, and only ``backend_override`` /
+        ``tile`` of regions with an *identical* member-header set are
+        adopted, so the set of takeover trigger headers (baked into
+        compiled sequential stretches) never changes mid-run.
+        """
+        ctx = self.replan_context
+        if not self.adaptive or ctx is None:
+            return
+        if (
+            stats.get("retries")
+            or stats.get("failovers")
+            or stats.get("faults_injected")
+        ):
+            return
+        label = stats["header"]
+        if label in self._replan_settled:
+            return
+        reasons = self._plan_divergence(stats, ctx)
+        if not reasons:
+            return
+        fresh = self.parallel_regions[self._calibrated_upto:]
+        self._calibrated_upto = len(self.parallel_regions)
+        ctx.store.observe_run(fresh, program_key=ctx.program_key)
+        machine = ctx.store.calibrated_machine(ctx.machine)
+        payload_bytes, prelude_warm, compiled_speedup = (
+            self._live_feedback()
+        )
+        from repro.opt import optimize_plan
+
+        result = optimize_plan(
+            ctx.function, ctx.module, ctx.pdg, ctx.pspdg, ctx.plan,
+            ctx.level, machine=machine, loops=ctx.loops,
+            payload_bytes=payload_bytes, prelude_warm=prelude_warm,
+            compiled_speedup=compiled_speedup,
+            compile_regions=self.compile_regions,
+        )
+        changes = self._adopt_plan(result.plan)
+        if changes:
+            self.replan_events.append({
+                "after": label,
+                "reasons": reasons,
+                "changes": changes,
+                "machine": {
+                    name: value
+                    for name, (value, _samples)
+                    in ctx.store.measured_coefficients().items()
+                },
+            })
+        else:
+            # The calibrated model agreed with the running choices for
+            # this label; stop re-pricing it on every later dispatch.
+            self._replan_settled.add(label)
+
+    def _live_feedback(self):
+        """This run's measured wire feedback so far, per region label."""
+        from repro.pipeline.diagnostics import Diagnostics
+
+        scratch = Diagnostics()
+        for region in self.parallel_regions:
+            if not (
+                region.get("retries")
+                or region.get("failovers")
+                or region.get("faults_injected")
+            ):
+                scratch.record_parallel(region)
+        payload_bytes, prelude_warm, compiled_speedup, _ = (
+            scratch.payload_feedback()
+        )
+        return payload_bytes, prelude_warm, compiled_speedup
+
+    def _plan_divergence(self, stats, ctx):
+        """Measured-vs-predicted divergence reasons for one region, if any.
+
+        Three detectors, each against its knob:
+
+        * dispatch overhead (wall time minus slowest worker's compute)
+          exceeding ``REPRO_REPLAN_THRESHOLD`` times the compute — the
+          region is mispriced for its backend;
+        * per-worker step imbalance (max/mean over workers with
+          iterations) exceeding ``REPRO_REPLAN_IMBALANCE`` — the
+          schedule's chunking fits the iteration space badly;
+        * measured bytes-per-payload outside ``REPRO_REPLAN_THRESHOLD``
+          of the planner's assumption (``ctx.predicted_bytes``) — the
+          serialization bar was computed from stale feedback.
+        """
+        reasons = []
+        threshold = float(knobs.REPRO_REPLAN_THRESHOLD.value)
+        imbalance_limit = float(knobs.REPRO_REPLAN_IMBALANCE.value)
+        per_worker = stats.get("per_worker", ())
+        seconds = stats.get("seconds", 0.0)
+        compute = max(
+            (worker.get("seconds", 0.0) for worker in per_worker),
+            default=0.0,
+        )
+        if compute > 0 and seconds > 1e-4:
+            ratio = (seconds - compute) / compute
+            if ratio > threshold:
+                reasons.append({
+                    "kind": "dispatch-overhead",
+                    "ratio": round(ratio, 3),
+                    "threshold": threshold,
+                })
+        busy = [
+            worker["steps"] for worker in per_worker
+            if worker.get("iterations")
+        ]
+        if len(busy) > 1 and sum(busy):
+            imbalance = max(busy) / (sum(busy) / len(busy))
+            if imbalance > imbalance_limit:
+                reasons.append({
+                    "kind": "imbalance",
+                    "ratio": round(imbalance, 3),
+                    "threshold": imbalance_limit,
+                })
+        payloads = stats.get("payloads", 0)
+        predicted = ctx.predicted_bytes.get(stats["header"])
+        if payloads and predicted:
+            measured = stats.get("payload_bytes", 0) / payloads
+            ratio = measured / predicted
+            if ratio > threshold or ratio < 1.0 / threshold:
+                reasons.append({
+                    "kind": "payload-bytes",
+                    "ratio": round(ratio, 3),
+                    "threshold": threshold,
+                })
+        return reasons
+
+    def _adopt_plan(self, plan):
+        """Adopt a replanned plan's cost decisions, preserving triggers.
+
+        Only regions whose (member headers, outer header) identity
+        matches a live region adopt the new ``backend_override`` and
+        ``tile`` — structural differences (a different fusion grouping,
+        a region the new plan dropped) are ignored, because adding or
+        removing a takeover trigger mid-run would invalidate the
+        compiled sequential stretches' memoized stop sets.  Mutating
+        the live :class:`RegionParallelization` in place keeps
+        ``self._regions``' keys and the derived recipes untouched.
+        """
+        by_identity = {
+            (descriptor.headers, descriptor.outer_header): descriptor
+            for descriptor in plan.regions
+        }
+        changes = []
+        for region in self._regions.values():
+            descriptor = by_identity.get(
+                (region.headers, region.outer_header)
+            )
+            if descriptor is None:
+                continue
+            override = descriptor.backend_override
+            tile = descriptor.tile
+            if (
+                override == region.backend_override
+                and tile == region.tile
+            ):
+                continue
+            changes.append({
+                "region": region.label,
+                "backend_override": [region.backend_override, override],
+                "tile": [region.tile, tile],
+            })
+            region.backend_override = override
+            region.tile = tile
+        return changes
 
     def _make_worker_frame(self, worker, frame, recipe, loops):
         worker_frame = _Frame(frame.function, frame.args)
@@ -1414,6 +1629,8 @@ def run_parallel(
     quarantine=None,
     retry_budget=None,
     failover=None,
+    adaptive=None,
+    replan=None,
 ):
     """Execute ``function_name`` with the given loop parallelizations.
 
@@ -1425,7 +1642,9 @@ def run_parallel(
     a caller-owned :class:`~repro.runtime.faults.Quarantine` so the
     degradation ladder's denylist does too.  ``retry_budget`` and
     ``failover`` override the ``REPRO_RETRY_BUDGET`` /
-    ``REPRO_FAILOVER`` knobs when not None.
+    ``REPRO_FAILOVER`` knobs when not None.  ``adaptive`` (default: the
+    ``REPRO_ADAPTIVE`` knob) plus a planner ``replan`` context enable
+    mid-run replanning of the remaining regions' cost decisions.
     """
     interpreter = ParallelInterpreter(
         module,
@@ -1441,6 +1660,8 @@ def run_parallel(
         quarantine=quarantine,
         retry_budget=retry_budget,
         failover=failover,
+        adaptive=adaptive,
+        replan=replan,
     )
     return interpreter.run(function_name)
 
@@ -1541,7 +1762,7 @@ def run_plan(module, pspdg, plan, function_name="main", workers=4, seed=0,
              backend="simulated", schedule="static", chunk=None,
              opt_level=None, machine=None, pool_size=None, prelude=None,
              compile_regions=None, quarantine=None, retry_budget=None,
-             failover=None):
+             failover=None, adaptive=None, replan=None):
     """Execute a :class:`ProgramPlan` chosen from the PS-PDG.
 
     This is the runtime entry point :meth:`repro.Session.run` uses: the
@@ -1567,13 +1788,15 @@ def run_plan(module, pspdg, plan, function_name="main", workers=4, seed=0,
     return run_parallel(module, regions, function_name, workers, seed,
                         backend, schedule, chunk, pool_size, prelude,
                         compile_regions, quarantine=quarantine,
-                        retry_budget=retry_budget, failover=failover)
+                        retry_budget=retry_budget, failover=failover,
+                        adaptive=adaptive, replan=replan)
 
 
 def run_source_plan(module, function_name="main", workers=4, seed=0,
                     backend="simulated", schedule="static", chunk=None,
                     pool_size=None, prelude=None, compile_regions=None,
-                    quarantine=None, retry_budget=None, failover=None):
+                    quarantine=None, retry_budget=None, failover=None,
+                    adaptive=None, replan=None):
     """Execute the developer's OpenMP plan (all worksharing annotations)."""
     function = module.function(function_name)
     recipes = []
@@ -1588,4 +1811,5 @@ def run_source_plan(module, function_name="main", workers=4, seed=0,
     return run_parallel(module, recipes, function_name, workers, seed,
                         backend, schedule, chunk, pool_size, prelude,
                         compile_regions, quarantine=quarantine,
-                        retry_budget=retry_budget, failover=failover)
+                        retry_budget=retry_budget, failover=failover,
+                        adaptive=adaptive, replan=replan)

@@ -291,3 +291,48 @@ REPRO_REGION_TIMEOUT = setting(
         "(max(120, max_steps / 50_000)). Lower it in chaos tests so "
         "injected hangs are detected quickly.",
 )
+
+REPRO_PROFILE = setting(
+    "REPRO_PROFILE", "",
+    doc="Path of the JSON calibration profile "
+        "(machine-coefficient EWMAs + per-program region feedback). "
+        "Sessions with calibration on load it at construction and "
+        "append to it after each run, so warm sessions plan with "
+        "measured numbers. Empty = in-memory only.",
+)
+
+REPRO_CALIBRATE = flag(
+    "REPRO_CALIBRATE",
+    doc="Default for SessionConfig.calibrate: distill each run's "
+        "region stats into measured MachineModel coefficients "
+        "(per-byte wire cost, dispatch overhead, prelude discount, "
+        "compiled speedup) and plan subsequent runs with them instead "
+        "of the static defaults.",
+)
+
+REPRO_ADAPTIVE = flag(
+    "REPRO_ADAPTIVE",
+    doc="Default for SessionConfig.adaptive / Session.run(adaptive=): "
+        "mid-run replanning — after each region dispatch whose timings "
+        "diverge from the plan's predictions, re-derive the remaining "
+        "regions' cost-model choices (backend override, tile) through "
+        "optimize_plan with the freshly calibrated machine model. "
+        "Legality is untouched; only cost decisions move.",
+)
+
+REPRO_REPLAN_THRESHOLD = setting(
+    "REPRO_REPLAN_THRESHOLD", 3.0,
+    doc="Adaptive-replanning divergence trigger: a region whose "
+        "dispatch overhead exceeds this multiple of its compute time, "
+        "or whose measured bytes-per-payload land outside this factor "
+        "of the planner's assumption, requests a replan of the "
+        "remaining dispatches.",
+)
+
+REPRO_REPLAN_IMBALANCE = setting(
+    "REPRO_REPLAN_IMBALANCE", 2.0,
+    doc="Adaptive-replanning balance trigger: a region whose "
+        "max-over-mean per-worker step count exceeds this factor "
+        "requests a replan (workers with no iterations are excluded, "
+        "as in the conformance suite's imbalance metric).",
+)

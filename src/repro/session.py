@@ -43,6 +43,11 @@ _STAGE_PARAMS = {
     "loops": (),
     "pspdg": (),
     "views": ("abstractions",),
+    # The calibration stage reads the base machine plus the calibration
+    # switches; the *measured* coefficients are not config — they travel
+    # in every calibrated stage's key as the store-version extra (see
+    # ``_stage_key``).
+    "calibrate": ("machine", "calibrate", "profile_path"),
     # ``optimize`` re-runs the pass pipeline when the level, the machine
     # model (cost thresholds), or the planning knobs change — and only
     # then: the graph stages upstream keep their keys.  Its builder
@@ -73,6 +78,13 @@ _QUERY_DEPS = {
     "options": ("function", "loops", "profile", "views"),
     "critical_paths": ("function", "profile", "views"),
 }
+
+#: Stages whose artifact depends on the calibration store's *contents*
+#: (not just config): their cache keys carry the store version, so a new
+#: observation re-prices plans while the graph stages upstream stay put.
+_CALIBRATED_STAGES = frozenset(
+    {"calibrate", "optimize", "recipes", "compile_regions"}
+)
 
 
 def _key_fields(stage_name, _cache={}):
@@ -154,6 +166,11 @@ class Session:
             (field, getattr(self.config, field))
             for field in _key_fields(stage_name)
         )
+        if stage_name in _CALIBRATED_STAGES:
+            token = (
+                self.calibration.version if self.calibrate_enabled else 0
+            )
+            extra = (("calibration", token),) + tuple(extra)
         return content_key(
             self._source_identity(), self._generation, params, extra
         )
@@ -274,6 +291,74 @@ class Session:
         compile_regions)."""
         return self._stage("compile_regions")
 
+    @property
+    def calibrated(self):
+        """Effective machine model + measured wire feedback (stage:
+        calibrate).  Static defaults unless calibration is on."""
+        return self._stage("calibrate")
+
+    @property
+    def calibrate_enabled(self):
+        """The config's ``calibrate`` knob, env-resolved
+        (``REPRO_CALIBRATE``)."""
+        from repro.runtime import knobs
+
+        configured = self.config.calibrate
+        return bool(knobs.REPRO_CALIBRATE) if configured is None \
+            else bool(configured)
+
+    @property
+    def adaptive_enabled(self):
+        """The config's ``adaptive`` knob, env-resolved
+        (``REPRO_ADAPTIVE``)."""
+        from repro.runtime import knobs
+
+        configured = self.config.adaptive
+        return bool(knobs.REPRO_ADAPTIVE) if configured is None \
+            else bool(configured)
+
+    @property
+    def profile_path(self):
+        """Where the calibration profile persists (``None`` = in-memory).
+
+        The config's ``profile_path`` wins; ``None`` defers to the
+        ``REPRO_PROFILE`` environment knob; empty means no file.
+        """
+        from repro.runtime import knobs
+
+        configured = self.config.profile_path
+        if configured is None:
+            configured = knobs.REPRO_PROFILE.value
+        return configured or None
+
+    @property
+    def calibration(self):
+        """This session's :class:`CalibrationStore` (lazy, session-scoped).
+
+        One store for the session's lifetime, loaded from
+        ``profile_path`` on first touch — so a warm session plans with
+        the coefficients earlier sessions measured, and this session's
+        observations accumulate on top.
+        """
+        store = getattr(self, "_calibration_obj", None)
+        if store is None:
+            from repro.planner.calibration import CalibrationStore
+
+            store = CalibrationStore(self.profile_path)
+            self._calibration_obj = store
+        return store
+
+    def program_key(self):
+        """Content hash keying this program's calibration feedback.
+
+        The module's wire key (its content identity on the process-pool
+        wire), so profiles survive session restarts and never leak
+        between different programs.
+        """
+        from repro.runtime.payload import module_codec
+
+        return module_codec(self.module).key
+
     def optimization(self, abstraction="PS-PDG"):
         """The pass pipeline's result (plan + report) for one abstraction."""
         results = self.optimizations
@@ -379,7 +464,8 @@ class Session:
     # -- execution -------------------------------------------------------------
 
     def run(self, plan=None, workers=None, seed=None, backend=None,
-            schedule=None, chunk=None, opt=None, compile_regions=None):
+            schedule=None, chunk=None, opt=None, compile_regions=None,
+            adaptive=None):
         """Execute the program under ``plan`` on a parallel backend.
 
         ``plan`` may be a :class:`ProgramPlan`, an abstraction name
@@ -394,6 +480,16 @@ class Session:
         ``processes`` chunk pool is sized from the machine model's core
         count.  Per-region, per-worker timing is recorded in
         ``self.diagnostics`` (see ``diagnostics.parallel_report()``).
+
+        ``adaptive`` (default: the config's ``adaptive`` knob) turns on
+        mid-run replanning: dispatches whose measured timings diverge
+        from the plan's predictions re-derive the remaining regions'
+        cost decisions with a freshly calibrated machine model (see
+        ``result.replan_events``).  With calibration on, the run's
+        region stats are distilled into the session's
+        :class:`CalibrationStore` afterwards (and persisted to
+        ``profile_path``), so the *next* plan starts from measured
+        coefficients.
         """
         from repro.opt import OptLevel
         from repro.runtime.executor import (
@@ -414,6 +510,9 @@ class Session:
         quarantine = self._quarantine()
         retry_budget = self.config.retry_budget
         failover = self.config.failover
+        adaptive_on = (
+            self.adaptive_enabled if adaptive is None else bool(adaptive)
+        )
         compile_on = (
             self.compile_regions_enabled if compile_regions is None
             else bool(compile_regions)
@@ -427,29 +526,45 @@ class Session:
             # and compile lazily at dispatch instead.
             self._stage("compile_regions")
         if plan is None or plan in ("source", "OpenMP"):
+            replan = (
+                self._replan_context(openmp_source_plan(self.function),
+                                     level)
+                if adaptive_on else None
+            )
             result = run_source_plan(
                 self.module, self.config.function_name, workers, seed,
                 backend, schedule, chunk, pool_size, prelude,
                 compile_on, quarantine=quarantine,
                 retry_budget=retry_budget, failover=failover,
+                adaptive=adaptive_on, replan=replan,
             )
         elif isinstance(plan, str):
             if level == self.config.opt_level:
                 regions = self._cached_regions(plan)
             else:
                 regions = self._regions_at_level(plan, level)
+            replan = (
+                self._replan_context(self.plan(plan), level)
+                if adaptive_on else None
+            )
             result = run_parallel(
                 self.module, regions, self.config.function_name, workers,
                 seed, backend, schedule, chunk, pool_size, prelude,
                 compile_on, quarantine=quarantine,
                 retry_budget=retry_budget, failover=failover,
+                adaptive=adaptive_on, replan=replan,
             )
         else:
             # Explicit ProgramPlan: optimize here, against the session's
             # cached pdg/loops — run_plan's standalone opt path would
             # rebuild the dependence analyses on every call.
+            base_plan = plan
             if level > OptLevel.O0 and not plan.regions:
                 plan = self._optimize_plan_object(plan, level)
+            replan = (
+                self._replan_context(base_plan, level)
+                if adaptive_on else None
+            )
             result = run_plan(
                 self.module,
                 self.pspdg,
@@ -466,10 +581,49 @@ class Session:
                 quarantine=quarantine,
                 retry_budget=retry_budget,
                 failover=failover,
+                adaptive=adaptive_on,
+                replan=replan,
             )
         for region in result.parallel_regions:
             self.diagnostics.record_parallel(region)
+        if self.calibrate_enabled or adaptive_on:
+            # Mid-run replans already fed the store up to
+            # ``calibrated_upto``; distill only the regions after that so
+            # nothing is counted twice, then persist for warm sessions.
+            start = getattr(result, "calibrated_upto", 0)
+            self.calibration.observe_run(
+                result.parallel_regions[start:],
+                program_key=self.program_key(),
+            )
+            if self.calibrate_enabled and self.profile_path:
+                self.calibration.save()
         return result
+
+    def _replan_context(self, base_plan, level):
+        """The planner context mid-run replanning re-optimizes against.
+
+        Carries the session's cached analyses, the *unoptimized* base
+        plan (``optimize_plan`` re-derives region descriptors from
+        scratch every call), the effective machine model, the shared
+        calibration store, and the per-label payload-bytes predictions
+        the divergence detector compares measurements against.
+        """
+        from repro.planner.calibration import ReplanContext
+
+        calibrated = self.calibrated
+        return ReplanContext(
+            function=self.function,
+            module=self.module,
+            pdg=self.pdg,
+            pspdg=self.pspdg,
+            plan=base_plan,
+            level=level,
+            machine=calibrated["machine"],
+            loops=self.loops,
+            store=self.calibration,
+            program_key=self.program_key(),
+            predicted_bytes=dict(calibrated["payload_bytes"]),
+        )
 
     def _prelude_codec(self):
         """This session's resident-prelude stream (processes backend).
@@ -517,6 +671,7 @@ class Session:
         """Run the -O passes over an explicit plan, on cached artifacts."""
         from repro.opt import optimize_plan
 
+        calibrated = self.calibrated
         return optimize_plan(
             self.function,
             self.module,
@@ -524,8 +679,11 @@ class Session:
             self.pspdg,
             plan,
             level,
-            machine=self.config.machine,
+            machine=calibrated["machine"],
             loops=self.loops,
+            payload_bytes=calibrated["payload_bytes"] or None,
+            prelude_warm=calibrated["prelude_warm"] or None,
+            compiled_speedup=calibrated["compiled_speedup"] or None,
         ).plan
 
     def _regions_at_level(self, abstraction, level):

@@ -392,3 +392,82 @@ def test_cli_rejects_unknown_program():
     proc = _run_cli("plan", "no/such/file.mop")
     assert proc.returncode != 0
     assert "neither a source file nor a NAS kernel" in proc.stderr
+
+
+# -- profile-guided calibration ------------------------------------------------
+
+
+def test_calibrate_flow_persists_and_warms(tmp_path):
+    """Run -> profile file -> warm session plans with measured numbers."""
+    import json
+
+    from repro.planner.machine import DEFAULT_MACHINE
+
+    profile = str(tmp_path / "profile.json")
+    cold = Session.from_kernel(
+        "IS", opt_level=2, backend="processes", workers=2,
+        calibrate=True, profile_path=profile,
+    )
+    assert cold.calibrate_enabled
+    cold.run("PS-PDG")
+
+    data = json.loads(Path(profile).read_text())
+    assert data["machine"]  # measured coefficients landed on disk
+
+    warm = Session.from_kernel(
+        "IS", opt_level=2, backend="processes", workers=2,
+        calibrate=True, profile_path=profile,
+    )
+    assert warm.calibration.observed
+    calibrated = warm.calibrated
+    assert calibrated["machine"] != DEFAULT_MACHINE
+    assert calibrated["measured"]
+    # The remembered per-region wire feedback is keyed by this program.
+    assert calibrated["payload_bytes"]
+
+
+def test_calibration_rekeys_optimize_stage():
+    """A new observation re-prices plans without rebuilding the graphs."""
+    session = Session.from_kernel(
+        "IS", opt_level=2, backend="processes", workers=2, calibrate=True,
+    )
+    session.optimizations  # build once (no observations yet)
+    assert session.diagnostics.runs("optimize") == 1
+    pspdg_runs = session.diagnostics.runs("pspdg")
+
+    session.run("PS-PDG")  # observes -> store.version moves
+    assert session.calibration.observed
+    session.optimizations  # re-keyed: rebuilds with measured numbers
+    assert session.diagnostics.runs("optimize") >= 2
+    assert session.diagnostics.runs("pspdg") == pspdg_runs
+
+
+def test_calibration_off_keeps_static_keys():
+    session = Session.from_kernel("IS", opt_level=2, workers=2)
+    assert not session.calibrate_enabled
+    session.optimizations
+    session.run("PS-PDG")
+    session.optimizations
+    assert session.diagnostics.runs("optimize") == 1
+    assert session.calibrated["machine"] == session.config.machine
+
+
+def test_cli_profile_subcommand(tmp_path):
+    profile = tmp_path / "profile.json"
+    proc = _run_cli("profile", "--profile", str(profile))
+    assert proc.returncode == 0, proc.stderr
+    assert "payload_cost_per_byte" in proc.stdout
+    assert "(static)" in proc.stdout
+
+    # Calibrate through the run subcommand, then print what landed.
+    proc = _run_cli(
+        "run", "IS", "--plan", "PS-PDG", "-O", "2",
+        "--backend", "processes", "--workers", "2",
+        "--calibrate", "--profile", str(profile),
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert profile.exists()
+
+    proc = _run_cli("profile", "IS", "--profile", str(profile))
+    assert proc.returncode == 0, proc.stderr
+    assert "region feedback" in proc.stdout

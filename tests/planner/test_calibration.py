@@ -1,0 +1,263 @@
+"""CalibrationStore: EWMA behavior, outlier rejection, persistence.
+
+The store is the profile-guided planning substrate: region stats in,
+measured MachineModel coefficients and per-program wire feedback out.
+These tests drive it with hand-built stats dicts (the runtime's shape,
+see ``Diagnostics.record_parallel``) so each estimator is pinned
+without spinning up a pool.
+"""
+
+import json
+
+from repro.planner.calibration import (
+    DECAY,
+    OUTLIER_MIN_SAMPLES,
+    PAYLOAD_SAMPLE_FLOOR,
+    CalibrationStore,
+    ReplanContext,
+)
+from repro.planner.machine import DEFAULT_MACHINE
+
+
+def region(header="for.header.0", *, seconds=0.5, worker_seconds=(0.1, 0.1),
+           worker_steps=(100, 100), payloads=0, payload_bytes=0,
+           prelude_hits=0, prelude_bytes_saved=0, backend="processes",
+           retries=0, failovers=0, faults_injected=0, **extra):
+    """One runtime region-stats dict, minimally populated."""
+    stats = {
+        "header": header,
+        "backend": backend,
+        "schedule": "static",
+        "workers": len(worker_seconds),
+        "chunk": 1,
+        "iterations": sum(worker_steps),
+        "seconds": seconds,
+        "per_worker": [
+            {"worker": i, "iterations": steps, "steps": steps,
+             "seconds": secs}
+            for i, (steps, secs) in enumerate(
+                zip(worker_steps, worker_seconds)
+            )
+        ],
+        "payloads": payloads,
+        "payload_bytes": payload_bytes,
+        "prelude_hits": prelude_hits,
+        "prelude_bytes_saved": prelude_bytes_saved,
+        "retries": retries,
+        "failovers": failovers,
+        "faults_injected": faults_injected,
+    }
+    stats.update(extra)
+    return stats
+
+
+class TestEwma:
+    def test_first_sample_is_taken_verbatim(self):
+        store = CalibrationStore()
+        assert store._update("threads_region_cost", 1000.0)
+        assert store.coefficients["threads_region_cost"]["value"] == 1000.0
+
+    def test_later_samples_decay(self):
+        store = CalibrationStore()
+        store._update("threads_region_cost", 1000.0)
+        store._update("threads_region_cost", 2000.0)
+        expected = (1 - DECAY) * 1000.0 + DECAY * 2000.0
+        assert store.coefficients["threads_region_cost"]["value"] == expected
+
+    def test_unusable_samples_rejected(self):
+        store = CalibrationStore()
+        for bad in (0.0, -1.0, float("nan"), float("inf"), None, True):
+            assert not store._update("compiled_speedup", bad)
+        assert not store.observed
+
+    def test_outliers_rejected_after_settling(self):
+        store = CalibrationStore()
+        for _ in range(OUTLIER_MIN_SAMPLES):
+            store._update("payload_cost_per_byte", 0.01)
+        assert not store._update("payload_cost_per_byte", 10.0)  # 1000x
+        entry = store.coefficients["payload_cost_per_byte"]
+        assert entry["rejected"] == 1
+        assert entry["value"] == 0.01
+
+    def test_outliers_accepted_while_settling(self):
+        # Before OUTLIER_MIN_SAMPLES the estimate is not trusted yet.
+        store = CalibrationStore()
+        store._update("payload_cost_per_byte", 0.01)
+        assert store._update("payload_cost_per_byte", 10.0)
+
+
+class TestObserveRun:
+    def test_processes_overhead_splits_dispatch_and_wire(self):
+        store = CalibrationStore()
+        assert store.observe_run([
+            region(seconds=1.0, worker_seconds=(0.25, 0.25),
+                   worker_steps=(1000, 1000), payloads=2,
+                   payload_bytes=10_000),
+        ])
+        measured = store.measured_coefficients()
+        assert "threads_region_cost" in measured
+        assert "payload_cost_per_byte" in measured
+        assert "serial_region_cost" in measured
+        # rate = 2000 steps / 0.5s = 4000 steps/s; overhead 0.75s ->
+        # 3000 steps, half to dispatch, half over 10k bytes.
+        assert measured["threads_region_cost"][0] == 1500.0
+        assert measured["payload_cost_per_byte"][0] == 1500.0 / 10_000
+
+    def test_tiny_payloads_yield_no_per_byte_sample(self):
+        # A warm repeat ships a prelude delta below the floor: all the
+        # overhead is fixed dispatch, none of it prices the wire.
+        store = CalibrationStore()
+        store.observe_run([
+            region(seconds=1.0, worker_seconds=(0.25, 0.25),
+                   worker_steps=(1000, 1000), payloads=2,
+                   payload_bytes=PAYLOAD_SAMPLE_FLOOR - 1),
+        ])
+        measured = store.measured_coefficients()
+        assert "payload_cost_per_byte" not in measured
+        # Full (not half) overhead goes to the dispatch bar: 3000 steps.
+        assert measured["threads_region_cost"][0] == 3000.0
+
+    def test_threads_overhead_is_all_dispatch(self):
+        store = CalibrationStore()
+        store.observe_run([
+            region(backend="threads", seconds=0.5,
+                   worker_seconds=(0.25, 0.25), worker_steps=(500, 500)),
+        ])
+        measured = store.measured_coefficients()
+        assert "payload_cost_per_byte" not in measured
+        assert measured["threads_region_cost"][0] == 0.25 * 2000.0
+
+    def test_recovery_inflated_regions_are_excluded(self):
+        store = CalibrationStore()
+        accepted = store.observe_run([
+            region(seconds=5.0, worker_seconds=(0.1, 0.1),
+                   worker_steps=(100, 100), payloads=2,
+                   payload_bytes=1000, retries=1),
+            region(seconds=5.0, worker_seconds=(0.1, 0.1),
+                   worker_steps=(100, 100), payloads=2,
+                   payload_bytes=1000, failovers=1),
+            region(seconds=5.0, worker_seconds=(0.1, 0.1),
+                   worker_steps=(100, 100), payloads=2,
+                   payload_bytes=1000, faults_injected=1),
+        ])
+        assert not accepted
+        assert not store.observed
+        assert store.runs == 0
+
+    def test_untimed_workers_produce_no_samples(self):
+        # The simulated oracle's workers carry seconds=0.0.
+        store = CalibrationStore()
+        accepted = store.observe_run([
+            region(backend="simulated(seed=0)", seconds=0.001,
+                   worker_seconds=(0.0, 0.0), worker_steps=(100, 100)),
+        ])
+        assert not accepted
+
+    def test_version_moves_only_on_acceptance(self):
+        store = CalibrationStore()
+        before = store.version
+        store.observe_run([region(retries=1)])
+        assert store.version == before
+        store.observe_run([
+            region(seconds=1.0, worker_seconds=(0.2, 0.2),
+                   worker_steps=(500, 500), payloads=2,
+                   payload_bytes=5000),
+        ])
+        assert store.version == before + 1
+
+    def test_prelude_discount_from_saved_bytes(self):
+        store = CalibrationStore()
+        store.observe_run([
+            region(seconds=1.0, worker_seconds=(0.2, 0.2),
+                   worker_steps=(500, 500), payloads=4,
+                   payload_bytes=1000, prelude_hits=3,
+                   prelude_bytes_saved=3000),
+        ])
+        value, _ = store.measured_coefficients()["prelude_cache_discount"]
+        assert value == 3000 / 4000
+
+    def test_region_feedback_is_per_program(self):
+        store = CalibrationStore()
+        store.observe_run(
+            [region(payloads=2, payload_bytes=8192, prelude_hits=1,
+                    worker_seconds=(0.2, 0.2), worker_steps=(500, 500),
+                    seconds=1.0)],
+            program_key="prog-a",
+        )
+        payload_bytes, prelude_warm, _ = store.region_feedback("prog-a")
+        assert payload_bytes == {"for.header.0": 4096}
+        assert prelude_warm == {"for.header.0": 0.5}
+        assert store.region_feedback("prog-b") == ({}, {}, {})
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "nested" / "profile.json")
+        store = CalibrationStore(path)
+        store.observe_run(
+            [region(seconds=1.0, worker_seconds=(0.2, 0.2),
+                    worker_steps=(500, 500), payloads=2,
+                    payload_bytes=5000)],
+            program_key="prog-a",
+        )
+        saved = store.save()
+        assert saved == path
+
+        warm = CalibrationStore(path)
+        assert warm.measured_coefficients() == store.measured_coefficients()
+        assert warm.region_feedback("prog-a") == \
+            store.region_feedback("prog-a")
+        assert warm.runs == store.runs
+
+    def test_missing_file_is_empty(self, tmp_path):
+        store = CalibrationStore(str(tmp_path / "absent.json"))
+        assert not store.observed
+
+    def test_corrupt_file_is_empty(self, tmp_path):
+        path = tmp_path / "corrupt.json"
+        path.write_text("{not json")
+        assert not CalibrationStore(str(path)).observed
+
+    def test_stale_schema_is_ignored(self, tmp_path):
+        path = tmp_path / "stale.json"
+        store = CalibrationStore()
+        store._update("compiled_speedup", 2.0)
+        data = store.to_dict()
+        data["schema"] = -1
+        path.write_text(json.dumps(data))
+        assert not CalibrationStore(str(path)).observed
+
+    def test_unknown_coefficients_skipped_on_load(self, tmp_path):
+        path = tmp_path / "future.json"
+        store = CalibrationStore()
+        store._update("compiled_speedup", 2.0)
+        data = store.to_dict()
+        data["machine"]["quantum_dispatch_cost"] = {
+            "value": 1.0, "samples": 5, "rejected": 0
+        }
+        path.write_text(json.dumps(data))
+        warm = CalibrationStore(str(path))
+        assert set(warm.measured_coefficients()) == {"compiled_speedup"}
+
+    def test_describe_mentions_static_and_measured(self):
+        store = CalibrationStore()
+        store._update("compiled_speedup", 2.0)
+        text = store.describe(DEFAULT_MACHINE)
+        assert "compiled_speedup" in text
+        assert "(static)" in text  # the never-observed coefficients
+
+
+class TestReplanContext:
+    def test_default_store_is_private(self):
+        a = ReplanContext(function=None, module=None, pdg=None,
+                          pspdg=None, plan=None, level=None, machine=None)
+        b = ReplanContext(function=None, module=None, pdg=None,
+                          pspdg=None, plan=None, level=None, machine=None)
+        assert a.store is not b.store
+
+    def test_explicit_store_is_shared(self):
+        store = CalibrationStore()
+        ctx = ReplanContext(function=None, module=None, pdg=None,
+                            pspdg=None, plan=None, level=None,
+                            machine=None, store=store)
+        assert ctx.store is store
